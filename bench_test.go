@@ -1,0 +1,419 @@
+// Package fssim's benchmark harness: one testing.B benchmark per paper
+// artifact (Figures 1-12, Tables 1-2), the DESIGN.md §5 ablations, and
+// micro-benchmarks of the simulator substrate. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benches execute the corresponding experiment at a reduced
+// scale and report the headline quantity as a custom metric; run
+// `fsbench -exp all` for the full-scale paper-formatted tables.
+package fssim_test
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fssim/internal/cache"
+	"fssim/internal/core"
+	"fssim/internal/cpu"
+	"fssim/internal/experiments"
+	"fssim/internal/isa"
+	"fssim/internal/machine"
+	"fssim/internal/memsys"
+	"fssim/internal/workload"
+)
+
+const benchScale = 0.5 // keep the full -bench=. sweep to a few minutes
+
+func runExperiment(b *testing.B, id string) *experiments.Result {
+	b.Helper()
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = benchScale
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// cell parses a numeric table cell ("12.3%", "4.5x", "1.234").
+func cell(s string) float64 {
+	s = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSpace(s), "%"), "x")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// BenchmarkFig1 regenerates Figure 1 and reports the worst-case
+// full-system/app-only execution-time ratio across the OS-intensive set.
+func BenchmarkFig1(b *testing.B) {
+	res := runExperiment(b, "fig1")
+	worst := 0.0
+	for _, row := range res.Table.Rows[:5] {
+		if r := cell(row[2]); r > worst {
+			worst = r
+		}
+	}
+	b.ReportMetric(worst, "worst-time-ratio")
+}
+
+// BenchmarkFig2 regenerates Figure 2 and reports the largest full-system
+// speedup from doubling the L2 (the effect app-only simulation misses).
+func BenchmarkFig2(b *testing.B) {
+	res := runExperiment(b, "fig2")
+	best := 0.0
+	for _, row := range res.Table.Rows[:5] {
+		if r := cell(row[2]); r > best {
+			best = r
+		}
+	}
+	b.ReportMetric(best, "max-L2-speedup")
+}
+
+// BenchmarkFig3 regenerates the per-service characterization.
+func BenchmarkFig3(b *testing.B) {
+	res := runExperiment(b, "fig3")
+	b.ReportMetric(float64(len(res.Table.Rows)), "service-rows")
+}
+
+// BenchmarkFig4 regenerates the sys_read invocation series summary.
+func BenchmarkFig4(b *testing.B) {
+	res := runExperiment(b, "fig4")
+	b.ReportMetric(cell(res.Table.Rows[0][7]), "behavior-levels")
+}
+
+// BenchmarkFig5 regenerates the bubble histogram.
+func BenchmarkFig5(b *testing.B) {
+	res := runExperiment(b, "fig5")
+	b.ReportMetric(float64(len(res.Table.Rows)), "occupied-bins")
+}
+
+// BenchmarkFig6 regenerates the CV comparison and reports the average
+// execution-time CV reduction factor from scaled clustering.
+func BenchmarkFig6(b *testing.B) {
+	res := runExperiment(b, "fig6")
+	avg := res.Table.Rows[len(res.Table.Rows)-1]
+	if c := cell(avg[2]); c > 0 {
+		b.ReportMetric(cell(avg[1])/c, "time-CV-reduction")
+	}
+}
+
+// BenchmarkFig7 regenerates the learning-window curve.
+func BenchmarkFig7(b *testing.B) {
+	res := runExperiment(b, "fig7")
+	for _, row := range res.Table.Rows {
+		if row[0] == "0.030" {
+			b.ReportMetric(cell(row[1]), "window@pmin3%")
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the headline accuracy result and reports the
+// average absolute execution-time prediction error in percent
+// (paper: 3.2%).
+func BenchmarkFig8(b *testing.B) {
+	res := runExperiment(b, "fig8")
+	sum := 0.0
+	for _, row := range res.Table.Rows {
+		sum += cell(row[7])
+	}
+	b.ReportMetric(sum/float64(len(res.Table.Rows)), "avg-err-%")
+}
+
+// BenchmarkFig9 regenerates the miss-rate comparison and reports the worst
+// absolute miss-rate difference in percentage points.
+func BenchmarkFig9(b *testing.B) {
+	res := runExperiment(b, "fig9")
+	worst := 0.0
+	for _, row := range res.Table.Rows {
+		if d := cell(row[7]); d > worst {
+			worst = d
+		}
+	}
+	b.ReportMetric(worst, "worst-missrate-diff-pp")
+}
+
+// BenchmarkFig10 regenerates the three-way L2 study and reports how closely
+// the accelerated simulator tracks the full-system speedup (ratio of
+// averages; 1.0 = perfect).
+func BenchmarkFig10(b *testing.B) {
+	res := runExperiment(b, "fig10")
+	var full, pred float64
+	for _, row := range res.Table.Rows {
+		full += cell(row[2])
+		pred += cell(row[3])
+	}
+	b.ReportMetric(pred/full, "pred/full-speedup")
+}
+
+// BenchmarkFig11 regenerates the strategy comparison and reports the
+// Statistical strategy's average coverage (paper: 89%).
+func BenchmarkFig11(b *testing.B) {
+	res := runExperiment(b, "fig11")
+	for _, row := range res.Table.Rows {
+		if row[0] == "average" && row[1] == "Statistical" {
+			b.ReportMetric(cell(row[2]), "statistical-coverage-%")
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates the L2-size error sweep and reports the average
+// error at 4MB.
+func BenchmarkFig12(b *testing.B) {
+	res := runExperiment(b, "fig12")
+	avg := res.Table.Rows[len(res.Table.Rows)-1]
+	b.ReportMetric(cell(avg[3]), "avg-err-4MB-%")
+}
+
+// BenchmarkTable1 measures the simulation-mode slowdown ratios.
+func BenchmarkTable1(b *testing.B) {
+	res := runExperiment(b, "tab1")
+	last := res.Table.Rows[len(res.Table.Rows)-1]
+	b.ReportMetric(cell(last[2]), "ooo-cache-slowdown")
+}
+
+// BenchmarkTable2 computes the Eq-10 speedup estimates and reports the
+// geometric mean at the paper's R=133 (paper: 4.9x).
+func BenchmarkTable2(b *testing.B) {
+	res := runExperiment(b, "tab2")
+	g := res.Table.Rows[len(res.Table.Rows)-1]
+	b.ReportMetric(cell(g[3]), "gmean-speedup")
+}
+
+// --- Ablations (DESIGN.md §5) ----------------------------------------------
+
+func accelError(b *testing.B, bench string, tweakM func(*machine.Config),
+	tweakP func(*core.Params)) (errFrac, coverage float64) {
+	return accelErrorAt(b, bench, benchScale, tweakM, tweakP)
+}
+
+// accelErrorAt runs the full-vs-accelerated comparison at an explicit scale;
+// the injection ablations use full scale, where per-service instance counts
+// are large enough for the effect sizes to dominate sampling noise.
+func accelErrorAt(b *testing.B, bench string, scale float64, tweakM func(*machine.Config),
+	tweakP func(*core.Params)) (errFrac, coverage float64) {
+	b.Helper()
+	opts := workload.DefaultOptions()
+	opts.Scale = scale
+	full, err := workload.Run(bench, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := workload.DefaultOptions()
+	o.Scale = scale
+	o.Machine.Mode = machine.Accelerated
+	if tweakM != nil {
+		tweakM(&o.Machine)
+	}
+	params := core.DefaultParams()
+	if tweakP != nil {
+		tweakP(&params)
+	}
+	acc := core.NewAccelerator(params)
+	o.Sink = acc
+	res, err := workload.Run(bench, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := math.Abs(float64(res.Stats.Cycles)-float64(full.Stats.Cycles)) /
+		float64(full.Stats.Cycles)
+	return e, acc.Summary().Coverage()
+}
+
+// BenchmarkAblationClustering compares the paper's scaled (±5%) clusters
+// against fixed ±150-instruction bins (paper §4.2's rejected alternative).
+func BenchmarkAblationClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scaledErr, scaledCov := accelError(b, "ab-seq", nil, nil)
+		fixedErr, fixedCov := accelError(b, "ab-seq", nil,
+			func(p *core.Params) { p.FixedRange = 150 })
+		b.ReportMetric(100*scaledErr, "scaled-err-%")
+		b.ReportMetric(100*fixedErr, "fixed-err-%")
+		b.ReportMetric(100*scaledCov, "scaled-cov-%")
+		b.ReportMetric(100*fixedCov, "fixed-cov-%")
+	}
+}
+
+// BenchmarkAblationWarmup compares delayed initial learning (skip 5, the
+// paper's §4.4 cold-start guard) against learning from the first invocation.
+func BenchmarkAblationWarmup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		onErr, _ := accelError(b, "du", nil, nil)
+		offErr, _ := accelError(b, "du", nil, func(p *core.Params) { p.WarmupSkip = 0 })
+		b.ReportMetric(100*onErr, "skip5-err-%")
+		b.ReportMetric(100*offErr, "skip0-err-%")
+	}
+}
+
+// BenchmarkAblationPollution compares accuracy with and without the
+// prediction side-effect models: cache pollution injection (paper §4.5) and
+// bus-occupancy injection (this implementation's extension).
+func BenchmarkAblationPollution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		onErr, _ := accelErrorAt(b, "ab-rand", 1.0, nil, nil)
+		noPollErr, _ := accelErrorAt(b, "ab-rand", 1.0,
+			func(m *machine.Config) { m.NoPollution = true }, nil)
+		noBusErr, _ := accelErrorAt(b, "ab-rand", 1.0,
+			func(m *machine.Config) { m.NoBusInjection = true }, nil)
+		b.ReportMetric(100*onErr, "both-on-err-%")
+		b.ReportMetric(100*noPollErr, "no-pollution-err-%")
+		b.ReportMetric(100*noBusErr, "no-bus-err-%")
+	}
+}
+
+// BenchmarkAblationWindow sweeps the initial learning window around the
+// statically derived ~100 (paper Fig 7 / §4.3), trading coverage for
+// accuracy.
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, w := range []int{25, 50, 100, 200} {
+		w := w
+		b.Run(strconv.Itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, cov := accelError(b, "ab-rand", nil,
+					func(p *core.Params) { p.LearnWindow = w })
+				b.ReportMetric(100*e, "err-%")
+				b.ReportMetric(100*cov, "coverage-%")
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ---------------------------------------------
+
+func instStream() []isa.Inst {
+	s := make([]isa.Inst, 0, 1024)
+	pc := uint64(0x1000)
+	for i := 0; len(s) < cap(s); i++ {
+		switch i % 4 {
+		case 0:
+			s = append(s, isa.Inst{Op: isa.ALU, PC: pc, Dep: 4})
+		case 1:
+			s = append(s, isa.Inst{Op: isa.LOAD, PC: pc + 4,
+				Addr: 0x10_0000 + uint64(i%4096)*64, Size: 8, Dep: 1})
+		case 2:
+			s = append(s, isa.Inst{Op: isa.ALU, PC: pc + 8, Dep: 1})
+		default:
+			s = append(s, isa.Inst{Op: isa.BRANCH, PC: pc + 12, Taken: true, Target: pc})
+		}
+	}
+	return s
+}
+
+// BenchmarkOOOCore measures the detailed out-of-order model's host cost per
+// simulated instruction.
+func BenchmarkOOOCore(b *testing.B) {
+	core := cpu.NewOOO(cpu.DefaultConfig(), memsys.New(memsys.DefaultConfig()))
+	s := instStream()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Exec(&s[i%len(s)], cache.OwnerApp)
+	}
+}
+
+// BenchmarkInOrderCore measures the in-order model's host cost.
+func BenchmarkInOrderCore(b *testing.B) {
+	core := cpu.NewInOrder(cpu.DefaultConfig(), memsys.New(memsys.DefaultConfig()))
+	s := instStream()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Exec(&s[i%len(s)], cache.OwnerApp)
+	}
+}
+
+// BenchmarkCacheAccess measures the raw cache model.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.Config{Name: "b", Size: 1 << 20, Assoc: 8, BlockSize: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%65536)*64, 1, false, cache.OwnerApp)
+	}
+}
+
+// BenchmarkFullSystemSimulation measures end-to-end detailed simulation
+// throughput (simulated instructions per host second) on the web workload.
+func BenchmarkFullSystemSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := workload.DefaultOptions()
+		opts.Scale = 0.25
+		res, err := workload.Run("ab-rand", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Stats.Insts), "sim-insts/op")
+	}
+}
+
+// BenchmarkAcceleratedSimulation measures the same workload under the
+// paper's scheme, for a direct wall-clock speedup comparison.
+func BenchmarkAcceleratedSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := workload.DefaultOptions()
+		opts.Scale = 0.25
+		opts.Machine.Mode = machine.Accelerated
+		opts.Sink = core.NewAccelerator(core.DefaultParams())
+		res, err := workload.Run("ab-rand", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Stats.Insts), "sim-insts/op")
+	}
+}
+
+// BenchmarkExtensionMixSignature evaluates the paper's named future-work
+// direction (§3): extending the signature from the instruction count alone
+// to the emulation-observable instruction mix (count + loads + stores +
+// branches). Finer signatures can separate aliased behavior points at some
+// cost in coverage.
+func BenchmarkExtensionMixSignature(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plainErr, plainCov := accelError(b, "ab-seq", nil, nil)
+		mixErr, mixCov := accelError(b, "ab-seq", nil,
+			func(p *core.Params) { p.MixSignature = true })
+		b.ReportMetric(100*plainErr, "insts-sig-err-%")
+		b.ReportMetric(100*mixErr, "mix-sig-err-%")
+		b.ReportMetric(100*plainCov, "insts-sig-cov-%")
+		b.ReportMetric(100*mixCov, "mix-sig-cov-%")
+	}
+}
+
+// BenchmarkExtensionTLB measures the effect of enabling TLB modeling (not
+// part of the paper's Simics configuration): page-walk latencies on TLB
+// misses plus flushes at address-space switches.
+func BenchmarkExtensionTLB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := runOnce(b, "find-od", func(m *machine.Config) {})
+		tlb := runOnce(b, "find-od", func(m *machine.Config) {
+			m.Mem = m.Mem.WithTLB()
+		})
+		b.ReportMetric(float64(tlb.Cycles)/float64(base.Cycles), "tlb-slowdown")
+	}
+}
+
+// BenchmarkExtensionPrefetch measures the L2 next-line prefetcher on the
+// streaming-heavy swim kernel.
+func BenchmarkExtensionPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := runOnce(b, "swim", func(m *machine.Config) {})
+		pf := runOnce(b, "swim", func(m *machine.Config) {
+			m.Mem = m.Mem.WithPrefetch()
+		})
+		b.ReportMetric(float64(base.Cycles)/float64(pf.Cycles), "prefetch-speedup")
+	}
+}
+
+func runOnce(b *testing.B, bench string, tweak func(*machine.Config)) machine.Stats {
+	b.Helper()
+	opts := workload.DefaultOptions()
+	opts.Scale = benchScale
+	tweak(&opts.Machine)
+	res, err := workload.Run(bench, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Stats
+}

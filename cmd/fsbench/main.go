@@ -1,0 +1,53 @@
+// Command fsbench regenerates the paper's evaluation artifacts: every figure
+// (1-12) and table (1-2), or any subset, printing the same rows/series the
+// paper reports.
+//
+// Usage:
+//
+//	fsbench                  # run everything at default scale
+//	fsbench -exp fig8        # one artifact
+//	fsbench -exp fig2,tab2   # a subset
+//	fsbench -scale 0.5       # half-size workloads (faster, noisier)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fssim/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (fig1..fig12, tab1, tab2) or 'all'")
+	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-6s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

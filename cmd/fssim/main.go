@@ -1,0 +1,182 @@
+// Command fssim runs a single benchmark on the simulated full-system
+// platform and prints a performance report.
+//
+// Usage:
+//
+//	fssim -bench ab-rand                  # detailed full-system simulation
+//	fssim -bench ab-rand -mode accel      # the paper's accelerated scheme
+//	fssim -bench du -mode apponly         # application-only baseline
+//	fssim -bench iperf -l2 2097152        # 2MB L2
+//	fssim -list                           # available benchmarks
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"fssim/internal/core"
+	"fssim/internal/machine"
+	"fssim/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "ab-rand", "benchmark name")
+	mode := flag.String("mode", "full", "simulation mode: full | apponly | accel")
+	strategy := flag.String("strategy", "statistical", "re-learning strategy for accel mode: bestmatch | eager | delayed | statistical")
+	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	l2 := flag.Int("l2", 0, "L2 size in bytes (0 = default 1MB)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	inorder := flag.Bool("inorder", false, "use the in-order core model")
+	nocache := flag.Bool("nocache", false, "disable the cache models (ideal memory)")
+	services := flag.Bool("services", false, "print the per-service report (accel mode)")
+	trace := flag.String("trace", "", "write every OS service interval as CSV to this file ('-' = stdout)")
+	tlb := flag.Bool("tlb", false, "enable TLB modeling (64-entry I/D TLBs, 30-cycle walks)")
+	prefetch := flag.Bool("prefetch", false, "enable the L2 next-line prefetcher")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			b, _ := workload.Lookup(name)
+			kind := "compute "
+			if b.OSIntensive {
+				kind = "OS-heavy"
+			}
+			fmt.Printf("%-8s %s  %s\n", name, kind, b.Description)
+		}
+		return
+	}
+
+	opts := workload.DefaultOptions()
+	opts.Scale = *scale
+	opts.Machine.Seed = *seed
+	if *l2 > 0 {
+		opts.Machine.Mem = opts.Machine.Mem.WithL2Size(*l2)
+	}
+	if *inorder {
+		opts.Machine.Core = machine.CoreInOrder
+	}
+	if *nocache {
+		opts.Machine.WithCaches = false
+	}
+	if *tlb {
+		opts.Machine.Mem = opts.Machine.Mem.WithTLB()
+	}
+	if *prefetch {
+		opts.Machine.Mem = opts.Machine.Mem.WithPrefetch()
+	}
+	var traceW *csv.Writer
+	if *trace != "" {
+		out := os.Stdout
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fail("%v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		traceW = csv.NewWriter(out)
+		defer traceW.Flush()
+		traceW.Write([]string{"service", "insts", "loads", "stores",
+			"branches", "cycles", "emulated", "l1d_misses", "l2_misses"})
+		opts.Observer = func(r machine.IntervalRecord) {
+			row := []string{
+				r.Service.String(),
+				strconv.FormatUint(r.Insts, 10),
+				strconv.FormatUint(r.Sig.Loads, 10),
+				strconv.FormatUint(r.Sig.Stores, 10),
+				strconv.FormatUint(r.Sig.Branches, 10),
+				strconv.FormatUint(r.Cycles, 10),
+				strconv.FormatBool(r.Emulated),
+				"", "",
+			}
+			if r.Meas != nil {
+				row[7] = strconv.FormatUint(r.Meas.L1D.Misses, 10)
+				row[8] = strconv.FormatUint(r.Meas.L2.Misses, 10)
+			}
+			traceW.Write(row)
+		}
+	}
+	var acc *core.Accelerator
+	switch *mode {
+	case "full":
+		opts.Machine.Mode = machine.FullSystem
+	case "apponly":
+		opts.Machine.Mode = machine.AppOnly
+	case "accel":
+		opts.Machine.Mode = machine.Accelerated
+		params := core.DefaultParams()
+		switch *strategy {
+		case "bestmatch":
+			params.Strategy = core.BestMatch
+		case "eager":
+			params.Strategy = core.Eager
+		case "delayed":
+			params.Strategy = core.Delayed
+		case "statistical":
+			params.Strategy = core.Statistical
+		default:
+			fail("unknown strategy %q", *strategy)
+		}
+		acc = core.NewAccelerator(params)
+		opts.Sink = acc
+	default:
+		fail("unknown mode %q", *mode)
+	}
+
+	start := time.Now()
+	res, err := workload.Run(*bench, opts)
+	if err != nil {
+		fail("%v", err)
+	}
+	host := time.Since(start)
+	st := res.Stats
+
+	fmt.Printf("benchmark        %s (%s mode, scale %.2f)\n", *bench, opts.Machine.Mode, *scale)
+	fmt.Printf("instructions     %d (user %d, OS %d = %.1f%%)\n",
+		st.Insts, st.UserInsts, st.OSInsts, 100*float64(st.OSInsts)/float64(st.Insts))
+	fmt.Printf("cycles           %d (IPC %.3f)\n", st.Cycles, st.IPC())
+	fmt.Printf("OS intervals     %d (context switches %d, timer ticks %d)\n",
+		st.Intervals, res.Kernel.ContextSwitches(), res.Kernel.Ticks())
+	if opts.Machine.WithCaches {
+		l1i, l1d, l2r := st.MissRates()
+		fmt.Printf("miss rates       L1I %.3f%%  L1D %.3f%%  L2 %.3f%%  (DRAM %d)\n",
+			100*l1i, 100*l1d, 100*l2r, st.DRAM)
+	}
+	fmt.Printf("branches         %d lookups, %.2f%% mispredicted\n",
+		st.BrLookups, 100*float64(st.BrMispreds)/float64(max64(st.BrLookups, 1)))
+	if acc != nil {
+		sum := acc.Summary()
+		fmt.Printf("acceleration     coverage %.1f%% of %d invocations; %d clusters over %d services; %d re-learns; %d outliers\n",
+			100*sum.Coverage(), sum.Learned+sum.Predicted, sum.Clusters, sum.Services,
+			sum.Relearns, sum.Outliers)
+		fmt.Printf("fast-forwarded   %d of %d instructions (%.1f%%)\n",
+			st.EmuInsts, st.Insts, 100*float64(st.EmuInsts)/float64(st.Insts))
+		if *services {
+			fmt.Println("\nservice          seen   clusters  predicted  outliers  relearns")
+			for _, row := range acc.Report() {
+				fmt.Printf("%-16s %-6d %-9d %-10d %-9d %d\n",
+					row.Service, row.Seen, row.Clusters, row.Predicted, row.Outliers, row.Relearns)
+			}
+		}
+	}
+	fmt.Printf("host time        %.2fs (%.0f ns/inst)\n",
+		host.Seconds(), float64(host.Nanoseconds())/float64(st.Insts))
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "fssim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

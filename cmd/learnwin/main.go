@@ -1,0 +1,37 @@
+// Command learnwin computes the statically-derived initial learning window
+// of paper §4.3 (Fig 7): the smallest number of contiguous OS-service
+// invocations that must be fully simulated so that, with the requested
+// degree of confidence, every behavior cluster with probability of
+// occurrence >= p_min appears at least once.
+//
+// Usage:
+//
+//	learnwin                      # the paper's sweep (Fig 7)
+//	learnwin -pmin 0.03 -doc 0.95 # one point (the paper's choice: ~100)
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fssim/internal/stats"
+)
+
+func main() {
+	pmin := flag.Float64("pmin", 0, "minimum probability of occurrence (0 = sweep)")
+	doc := flag.Float64("doc", 0.95, "degree of confidence")
+	flag.Parse()
+
+	if *pmin > 0 {
+		n := stats.LearningWindow(*pmin, *doc)
+		fmt.Printf("p_min=%.4f DoC=%.2f -> learning window N=%d\n", *pmin, *doc, n)
+		fmt.Printf("check: P(cluster seen at least once in %d trials) = %.4f\n",
+			n, stats.AtLeastOnce(*pmin, n))
+		return
+	}
+	fmt.Println("p_min    N @ 95%   N @ 99%")
+	for p := 0.005; p <= 0.2001; p += 0.005 {
+		fmt.Printf("%.3f    %-8d %d\n",
+			p, stats.LearningWindow(p, 0.95), stats.LearningWindow(p, 0.99))
+	}
+}

@@ -1,0 +1,95 @@
+// Customworkload: build a new guest program against the public API — a
+// small log-processing pipeline (producer thread appends records to a log;
+// consumer thread tails and aggregates them) — then measure how well the
+// acceleration scheme handles a workload it was never tuned for.
+//
+//	go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+
+	"math"
+
+	"fssim"
+)
+
+// buildPipeline installs the custom workload on a fresh system.
+func buildPipeline(sys *fssim.System) {
+	fs := sys.FS()
+	fs.MustCreate("/var/log/events.log", 0)
+	fs.MustDevNull("/dev/null")
+	// A pre-existing corpus the consumer joins against (cold on disk).
+	fs.MustCreate("/data/corpus.bin", 512<<10)
+
+	const (
+		batches     = 150
+		recordBytes = 2048
+	)
+
+	producer := func(p *fssim.Proc) {
+		fd := p.Open("/var/log/events.log")
+		for i := 0; i < batches; i++ {
+			p.U.Mix(800) // format a batch of records
+			p.Write(fd, p.Scratch(), recordBytes)
+			p.Gettimeofday()
+			if i%10 == 9 {
+				p.SchedYield()
+			}
+		}
+		p.Close(fd)
+	}
+
+	consumer := func(p *fssim.Proc) {
+		logFd := p.Open("/var/log/events.log")
+		corpus := p.Open("/data/corpus.bin")
+		out := p.Open("/dev/null")
+		total := 0
+		for total < batches*recordBytes {
+			n := p.Read(logFd, p.Scratch(), 8<<10)
+			if n == 0 {
+				p.Nanosleep(20_000) // tail -f style wait
+				continue
+			}
+			total += n
+			// Join each record batch against a corpus window.
+			p.Lseek(corpus, int64(total)%(400<<10))
+			p.Read(corpus, p.Scratch(), 16<<10)
+			p.U.Mix(3000) // aggregate
+			p.Write(out, p.Scratch(), 512)
+		}
+		p.Close(logFd)
+		p.Close(corpus)
+		p.Close(out)
+	}
+
+	sys.Spawn("producer", producer)
+	sys.Spawn("consumer", consumer)
+}
+
+func run(mode fssim.Options) *fssim.Report {
+	sys := fssim.NewSystem(mode)
+	buildPipeline(sys)
+	return sys.Run()
+}
+
+func main() {
+	full := run(fssim.Options{Mode: fssim.FullSystem})
+	st := full.Stats
+	fmt.Printf("custom log pipeline, full-system: %d insts (%.0f%% OS), %d cycles, IPC %.3f\n",
+		st.Insts, 100*float64(st.OSInsts)/float64(st.Insts), st.Cycles, st.IPC())
+
+	pred := run(fssim.Options{Mode: fssim.Accelerated, Strategy: fssim.Statistical})
+	e := math.Abs(float64(pred.Cycles())-float64(full.Cycles())) / float64(full.Cycles())
+	fmt.Printf("accelerated:                      %d cycles (%.1f%% error, %.0f%% coverage)\n",
+		pred.Cycles(), 100*e, 100*pred.Coverage())
+
+	fmt.Println("\nper-service view of the accelerated run:")
+	for _, row := range pred.Accel.Report() {
+		if row.Seen < 2 {
+			continue
+		}
+		fmt.Printf("  %-18s seen %-5d clusters %-3d predicted %-5d relearns %d\n",
+			row.Service, row.Seen, row.Clusters, row.Predicted, row.Relearns)
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: run one OS-intensive benchmark three ways — full-system
+// simulation, application-only simulation, and the paper's accelerated
+// scheme — and compare what each reports.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fssim"
+)
+
+func main() {
+	const bench = "ab-rand"
+	fmt.Printf("benchmark: %s (Apache-like server, random page requests)\n\n", bench)
+
+	// 1. Ground truth: detailed full-system simulation (application + OS).
+	full, err := fssim.RunBenchmark(bench, fssim.Options{Mode: fssim.FullSystem})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The classic shortcut: application-only simulation (OS is free).
+	app, err := fssim.RunBenchmark(bench, fssim.Options{Mode: fssim.AppOnly})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The paper's scheme: learn each OS service's behavior points, then
+	// fast-forward its invocations and predict their performance.
+	pred, err := fssim.RunBenchmark(bench, fssim.Options{
+		Mode: fssim.Accelerated, Strategy: fssim.Statistical,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fc := float64(full.Cycles())
+	fmt.Printf("%-22s %14s %10s %8s\n", "mode", "cycles", "vs full", "IPC")
+	row := func(name string, r *fssim.Report) {
+		fmt.Printf("%-22s %14d %9.3fx %8.3f\n",
+			name, r.Cycles(), float64(r.Cycles())/fc, r.IPC())
+	}
+	row("full-system", full)
+	row("application-only", app)
+	row("accelerated (paper)", pred)
+
+	sum := pred.Accel.Summary()
+	fmt.Printf("\naccelerated run: %.1f%% of %d OS-service invocations fast-forwarded\n",
+		100*pred.Coverage(), sum.Learned+sum.Predicted)
+	fmt.Printf("PLT state: %d clusters across %d services, %d re-learning periods\n",
+		sum.Clusters, sum.Services, sum.Relearns)
+	errPct := 100 * abs(float64(pred.Cycles())-fc) / fc
+	fmt.Printf("execution-time prediction error: %.1f%% (paper reports 3.2%% average)\n", errPct)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,45 @@
+// Relearning: the paper's Fig 11 study on the workload built to stress
+// re-learning — ab-seq's request mix shifts to a new page size every few
+// dozen requests, so behavior points that never occurred during initial
+// learning keep appearing. Compare how the four strategies trade coverage
+// against accuracy.
+//
+//	go run ./examples/relearning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fssim"
+)
+
+func main() {
+	const bench = "ab-seq"
+	full, err := fssim.RunBenchmark(bench, fssim.Options{Scale: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s ground truth: %d cycles\n\n", bench, full.Cycles())
+	fmt.Printf("%-13s %9s %10s %9s %9s %9s\n",
+		"strategy", "coverage", "abs error", "relearns", "outliers", "clusters")
+	for _, strat := range []fssim.Strategy{
+		fssim.BestMatch, fssim.Statistical, fssim.Delayed, fssim.Eager,
+	} {
+		rep, err := fssim.RunBenchmark(bench, fssim.Options{
+			Mode: fssim.Accelerated, Strategy: strat, Scale: 0.5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := rep.Accel.Summary()
+		e := math.Abs(float64(rep.Cycles())-float64(full.Cycles())) / float64(full.Cycles())
+		fmt.Printf("%-13s %8.1f%% %9.1f%% %9d %9d %9d\n",
+			strat, 100*rep.Coverage(), 100*e, sum.Relearns, sum.Outliers, sum.Clusters)
+	}
+	fmt.Println("\nBest-Match never re-learns (highest coverage, stalest table);")
+	fmt.Println("Eager re-learns on every outlier (lowest coverage); Statistical")
+	fmt.Println("re-learns only when a Student-t bound says an outlier cluster's")
+	fmt.Println("probability of occurrence exceeds p_min = 3% (cf. paper §4.4).")
+}

@@ -1,0 +1,62 @@
+// Webserver: the paper's §3 characterization study on the Apache-like
+// workload — per-service behavior (Fig 3), sys_read's multiple behavior
+// points (Figs 4-5), and the effect of scaled clustering on the coefficient
+// of variation (Fig 6).
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fssim"
+	"fssim/internal/isa"
+)
+
+func main() {
+	prof := fssim.NewProfiler()
+	rep, err := fssim.RunBenchmark("ab-rand", fssim.Options{
+		Scale:    0.5,
+		Observer: prof.Observer(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := rep.Stats
+	fmt.Printf("ab-rand full-system run: %d instructions (%.0f%% OS), %d cycles, IPC %.3f\n\n",
+		st.Insts, 100*float64(st.OSInsts)/float64(st.Insts), st.Cycles, st.IPC())
+
+	fmt.Println("per-service characterization (cf. paper Fig 3):")
+	fmt.Printf("  %-18s %6s %12s %10s %8s %8s\n", "service", "n", "cycles avg", "±std", "IPC", "clusters")
+	for _, sp := range prof.Services() {
+		if sp.N < 2 {
+			continue
+		}
+		fmt.Printf("  %-18s %6d %12.0f %10.0f %8.3f %8d\n",
+			sp.Service, sp.N, sp.Cycles.Mean(), sp.Cycles.Std(),
+			sp.IPC.Mean(), len(sp.Table.Clusters))
+	}
+
+	read := prof.Service(isa.Sys(isa.SysRead))
+	if read != nil {
+		h := read.Hist2D(1000, 4000)
+		fmt.Printf("\nsys_read behavior points (cf. paper Fig 5): %d invocations fall\n", h.Total())
+		fmt.Printf("into only %d occupied (1000-inst x 4000-cycle) bins — a small set\n", h.NonEmpty())
+		fmt.Println("of recurring behavior points, identifiable by instruction count:")
+		for i, c := range h.Cells() {
+			if i == 10 {
+				fmt.Printf("  ... (%d more bins)\n", h.NonEmpty()-10)
+				break
+			}
+			fmt.Printf("  ~%5.0f insts, ~%6.0f cycles: %5d occurrences\n", c.X, c.Y, c.Count)
+		}
+	}
+
+	cv := prof.CVs()
+	fmt.Printf("\nscaled clustering (cf. paper Fig 6):\n")
+	fmt.Printf("  execution-time CV: %.2f unclustered -> %.2f clustered (%.1fx reduction)\n",
+		cv.NonClusteredTime, cv.ClusteredTime, cv.NonClusteredTime/cv.ClusteredTime)
+	fmt.Printf("  IPC CV:            %.2f unclustered -> %.2f clustered\n",
+		cv.NonClusteredIPC, cv.ClusteredIPC)
+}

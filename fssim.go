@@ -1,0 +1,284 @@
+// Package fssim is a full-system simulator with OS-service performance
+// prediction, reproducing "Accelerating Full-System Simulation through
+// Characterizing and Predicting Operating System Performance" (Kim, Liu,
+// Solihin, Iyer, Zhao, Cohen — ISPASS 2007).
+//
+// The simulator models a Pentium-4-class machine (out-of-order core, L1I/L1D
+// + unified L2, split-transaction bus) running a Linux-2.6-like kernel
+// (VFS with dentry and page caches, block device, TCP-like sockets,
+// preemptive scheduler, demand paging) under the paper's nine evaluation
+// workloads. The acceleration scheme learns each OS service's performance
+// behavior points into a Performance Lookup Table and then fast-forwards
+// service invocations in emulation mode, predicting their cycles and cache
+// effects from the instruction-count signature.
+//
+// # Running a benchmark
+//
+//	report, err := fssim.RunBenchmark("ab-rand", fssim.Options{})
+//
+// # Accelerating it
+//
+//	opts := fssim.Options{Mode: fssim.Accelerated}
+//	report, err := fssim.RunBenchmark("ab-rand", opts)
+//	fmt.Println(report.Coverage(), report.IPC())
+//
+// # Building a custom workload
+//
+//	sys := fssim.NewSystem(fssim.Options{})
+//	sys.FS().MustCreate("/data/input", 1<<20)
+//	sys.Spawn("myapp", func(p *fssim.Proc) {
+//	    fd := p.Open("/data/input")
+//	    for p.Read(fd, p.Scratch(), 64<<10) > 0 {
+//	        p.U.Mix(5000) // process the chunk
+//	    }
+//	    p.Close(fd)
+//	})
+//	report := sys.Run()
+//
+// # Regenerating the paper's evaluation
+//
+//	go run ./cmd/fsbench            # every figure and table
+//	go test -bench=. -benchmem      # one benchmark per artifact + ablations
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package fssim
+
+import (
+	"fssim/internal/core"
+	"fssim/internal/experiments"
+	"fssim/internal/isa"
+	"fssim/internal/kernel"
+	"fssim/internal/machine"
+	"fssim/internal/workload"
+)
+
+// Re-exported simulation modes (paper terminology).
+const (
+	// FullSystem simulates application and OS in full detail ("App+OS").
+	FullSystem = machine.FullSystem
+	// AppOnly simulates only the application; OS services are functionally
+	// executed but cost nothing ("App Only").
+	AppOnly = machine.AppOnly
+	// Accelerated runs the paper's scheme ("App+OS Pred"): OS services are
+	// learned, then fast-forwarded and predicted.
+	Accelerated = machine.Accelerated
+)
+
+// Re-exported re-learning strategies (paper §4.4).
+const (
+	BestMatch   = core.BestMatch
+	Eager       = core.Eager
+	Delayed     = core.Delayed
+	Statistical = core.Statistical
+)
+
+// Core simulated-system types, usable for building custom workloads.
+type (
+	// Machine is the simulated hardware: core, caches, bus, event queue.
+	Machine = machine.Machine
+	// Kernel is the simulated operating system.
+	Kernel = kernel.Kernel
+	// Proc is a guest thread's view of the OS: user-mode execution plus
+	// system calls.
+	Proc = kernel.Proc
+	// Thread is a kernel-scheduled thread.
+	Thread = kernel.Thread
+	// Socket is a TCP-like socket endpoint.
+	Socket = kernel.Socket
+	// ServiceID names an OS service (sys_read, Int_239, ...).
+	ServiceID = isa.ServiceID
+	// Stats is the machine-level aggregate measurement.
+	Stats = machine.Stats
+	// IntervalRecord describes one completed OS service interval.
+	IntervalRecord = machine.IntervalRecord
+
+	// Accelerator is the paper's acceleration engine.
+	Accelerator = core.Accelerator
+	// Params are the scheme's tunables (p_min, DoC, cluster range, ...).
+	Params = core.Params
+	// Strategy selects the re-learning policy.
+	Strategy = core.Strategy
+	// Profiler performs the paper's §3 characterization of OS services.
+	Profiler = core.Profiler
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Mode selects full-system (default), application-only, or accelerated
+	// simulation.
+	Mode machine.SimMode
+	// Strategy selects the re-learning policy for Accelerated mode
+	// (default Statistical, the paper's choice).
+	Strategy Strategy
+	// Scale multiplies workload sizes (default 1.0).
+	Scale float64
+	// L2Size overrides the L2 capacity in bytes (default 1MB, paper §5.1).
+	L2Size int
+	// Seed fixes the simulation's randomness (default 1).
+	Seed int64
+	// InOrder selects the in-order core model instead of out-of-order.
+	InOrder bool
+	// NoCaches disables the cache models (ideal memory).
+	NoCaches bool
+	// TLB enables TLB modeling (64-entry I/D TLBs, page walks, flush on
+	// address-space switch) — an extension beyond the paper's platform.
+	TLB bool
+	// Prefetch enables the L2 next-line prefetcher — likewise an extension.
+	Prefetch bool
+	// Observer, if set, receives every completed OS service interval.
+	Observer func(IntervalRecord)
+}
+
+func (o Options) toWorkload() (workload.Options, *core.Accelerator) {
+	opts := workload.DefaultOptions()
+	if o.Scale > 0 {
+		opts.Scale = o.Scale
+	}
+	opts.Machine.Mode = o.Mode
+	if o.Seed != 0 {
+		opts.Machine.Seed = o.Seed
+	}
+	if o.L2Size > 0 {
+		opts.Machine.Mem = opts.Machine.Mem.WithL2Size(o.L2Size)
+	}
+	if o.InOrder {
+		opts.Machine.Core = machine.CoreInOrder
+	}
+	if o.NoCaches {
+		opts.Machine.WithCaches = false
+	}
+	if o.TLB {
+		opts.Machine.Mem = opts.Machine.Mem.WithTLB()
+	}
+	if o.Prefetch {
+		opts.Machine.Mem = opts.Machine.Mem.WithPrefetch()
+	}
+	opts.Observer = o.Observer
+	var acc *core.Accelerator
+	if o.Mode == machine.Accelerated {
+		params := core.DefaultParams()
+		params.Strategy = o.Strategy
+		acc = core.NewAccelerator(params)
+		opts.Sink = acc
+	}
+	return opts, acc
+}
+
+// Report is the outcome of a simulation run.
+type Report struct {
+	// Stats is the measured period's aggregate statistics.
+	Stats Stats
+	// Accel exposes the acceleration engine's state (nil unless the run was
+	// Accelerated).
+	Accel *Accelerator
+	// Machine and Kernel expose the finished simulation for inspection.
+	Machine *Machine
+	Kernel  *Kernel
+}
+
+// IPC returns the run's overall instructions per cycle.
+func (r *Report) IPC() float64 { return r.Stats.IPC() }
+
+// Cycles returns the simulated execution time in cycles.
+func (r *Report) Cycles() uint64 { return r.Stats.Cycles }
+
+// Coverage returns the fraction of OS service invocations fast-forwarded
+// (0 for non-accelerated runs).
+func (r *Report) Coverage() float64 {
+	if r.Accel == nil {
+		return 0
+	}
+	return r.Accel.Summary().Coverage()
+}
+
+// Benchmarks returns the evaluation suite's workload names, OS-intensive
+// first (ab-rand, ab-seq, du, find-od, iperf, gzip, vpr, art, swim).
+func Benchmarks() []string { return workload.Names() }
+
+// OSIntensiveBenchmarks returns the five OS-intensive workload names.
+func OSIntensiveBenchmarks() []string { return workload.OSIntensiveNames() }
+
+// RunBenchmark builds and runs one of the named evaluation workloads.
+func RunBenchmark(name string, o Options) (*Report, error) {
+	opts, acc := o.toWorkload()
+	res, err := workload.Run(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Stats: res.Stats, Accel: acc, Machine: res.Machine, Kernel: res.Kernel}, nil
+}
+
+// System is an assembled simulated machine + OS awaiting custom workloads.
+type System struct {
+	m    *Machine
+	k    *Kernel
+	acc  *Accelerator
+	opts Options
+}
+
+// NewSystem builds a simulated system for custom guest programs.
+func NewSystem(o Options) *System {
+	opts, acc := o.toWorkload()
+	m := machine.New(opts.Machine)
+	if opts.Sink != nil {
+		m.SetSink(opts.Sink)
+	}
+	if opts.Observer != nil {
+		m.SetObserver(opts.Observer)
+	}
+	k := kernel.New(m, opts.Tunables)
+	return &System{m: m, k: k, acc: acc, opts: o}
+}
+
+// Machine returns the simulated hardware.
+func (s *System) Machine() *Machine { return s.m }
+
+// Kernel returns the simulated OS.
+func (s *System) Kernel() *Kernel { return s.k }
+
+// FS returns the simulated filesystem for setup (MustCreate, MustMkdir, ...).
+func (s *System) FS() *kernel.FS { return s.k.FS() }
+
+// Net returns the simulated network stack for setup.
+func (s *System) Net() *kernel.Net { return s.k.Net() }
+
+// Spawn creates a guest thread running body when Run is called.
+func (s *System) Spawn(name string, body func(*Proc)) *Thread {
+	return s.k.Spawn(name, body)
+}
+
+// Run executes the system until every thread exits and returns the report.
+func (s *System) Run() *Report {
+	s.k.Run()
+	return &Report{Stats: s.m.Stats(), Accel: s.acc, Machine: s.m, Kernel: s.k}
+}
+
+// DefaultParams returns the paper's acceleration parameters: Statistical
+// strategy, p_min = 3%, 95% confidence (learning window ~100), ±5% scaled
+// clusters, warm-up skip of 5.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewAccelerator builds an acceleration engine with custom parameters; use
+// it with workload.Options directly for non-default configurations.
+func NewAccelerator(p Params) *Accelerator { return core.NewAccelerator(p) }
+
+// NewProfiler returns a §3 characterization profiler; attach its Observer.
+func NewProfiler() *Profiler { return core.NewProfiler() }
+
+// Experiments lists the regenerable paper artifacts (fig1..fig12, tab1, tab2).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper artifact and returns its rendered
+// table.
+func RunExperiment(id string, scale float64) (string, error) {
+	cfg := experiments.DefaultConfig()
+	if scale > 0 {
+		cfg.Scale = scale
+	}
+	res, err := experiments.Run(id, cfg)
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}

@@ -1,0 +1,93 @@
+package fssim_test
+
+import (
+	"testing"
+
+	"fssim"
+)
+
+func TestPublicRunBenchmark(t *testing.T) {
+	rep, err := fssim.RunBenchmark("du", fssim.Options{Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles() == 0 || rep.IPC() <= 0 {
+		t.Fatalf("empty report: %+v", rep.Stats)
+	}
+	if rep.Coverage() != 0 {
+		t.Error("non-accelerated run reported coverage")
+	}
+}
+
+func TestPublicAccelerated(t *testing.T) {
+	rep, err := fssim.RunBenchmark("iperf", fssim.Options{
+		Mode: fssim.Accelerated, Strategy: fssim.Statistical, Scale: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage() < 0.3 {
+		t.Errorf("coverage = %.2f", rep.Coverage())
+	}
+	if rep.Accel == nil || rep.Accel.Summary().Clusters == 0 {
+		t.Error("accelerator learned nothing")
+	}
+}
+
+func TestPublicCustomWorkload(t *testing.T) {
+	sys := fssim.NewSystem(fssim.Options{})
+	sys.FS().MustCreate("/data/input", 256<<10)
+	var processed int
+	sys.Spawn("myapp", func(p *fssim.Proc) {
+		fd := p.Open("/data/input")
+		for {
+			n := p.Read(fd, p.Scratch(), 64<<10)
+			if n == 0 {
+				break
+			}
+			processed += n
+			p.U.Mix(2000)
+		}
+		p.Close(fd)
+	})
+	rep := sys.Run()
+	if processed != 256<<10 {
+		t.Fatalf("processed %d bytes", processed)
+	}
+	if rep.Stats.OSInsts == 0 || rep.Stats.UserInsts == 0 {
+		t.Fatalf("attribution missing: %+v", rep.Stats)
+	}
+}
+
+func TestPublicObserver(t *testing.T) {
+	seen := 0
+	rep, err := fssim.RunBenchmark("du", fssim.Options{
+		Scale:    0.25,
+		Observer: func(r fssim.IntervalRecord) { seen++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen == 0 || uint64(seen) != rep.Stats.Intervals {
+		t.Fatalf("observer saw %d of %d intervals", seen, rep.Stats.Intervals)
+	}
+}
+
+func TestPublicLists(t *testing.T) {
+	if len(fssim.Benchmarks()) != 10 || len(fssim.OSIntensiveBenchmarks()) != 5 {
+		t.Fatal("benchmark lists wrong")
+	}
+	if len(fssim.Experiments()) != 14 {
+		t.Fatal("experiment list wrong")
+	}
+}
+
+func TestPublicRunExperiment(t *testing.T) {
+	out, err := fssim.RunExperiment("fig7", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty experiment output")
+	}
+}

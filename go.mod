@@ -1,0 +1,3 @@
+module fssim
+
+go 1.22

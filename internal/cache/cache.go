@@ -1,0 +1,321 @@
+// Package cache implements the set-associative cache model used for the L1
+// instruction, L1 data, and unified L2 caches: LRU replacement, write-back
+// write-allocate policy, per-line owner tagging (application vs OS), and the
+// pollution-eviction primitive the predictor uses to model OS-induced
+// displacement of application working sets (paper §4.5).
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Owner tags who filled a cache line. The accelerated simulator uses the tag
+// to find application-owned victims when injecting predicted OS pollution.
+type Owner uint8
+
+const (
+	OwnerApp Owner = iota
+	OwnerOS
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	Size       int // total bytes
+	Assoc      int // ways
+	BlockSize  int // bytes per line
+	HitLatency int // cycles
+}
+
+// Stats counts accesses and misses, split by the owner performing them.
+type Stats struct {
+	Accesses    uint64
+	Misses      uint64
+	OSAccesses  uint64
+	OSMisses    uint64
+	Writebacks  uint64
+	Evictions   uint64
+	PollutionEv uint64 // lines displaced by injected pollution
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Sub returns s - o component-wise; used to attribute deltas to an interval.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Accesses: s.Accesses - o.Accesses, Misses: s.Misses - o.Misses,
+		OSAccesses: s.OSAccesses - o.OSAccesses, OSMisses: s.OSMisses - o.OSMisses,
+		Writebacks: s.Writebacks - o.Writebacks, Evictions: s.Evictions - o.Evictions,
+		PollutionEv: s.PollutionEv - o.PollutionEv,
+	}
+}
+
+// Add returns s + o component-wise.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Accesses: s.Accesses + o.Accesses, Misses: s.Misses + o.Misses,
+		OSAccesses: s.OSAccesses + o.OSAccesses, OSMisses: s.OSMisses + o.OSMisses,
+		Writebacks: s.Writebacks + o.Writebacks, Evictions: s.Evictions + o.Evictions,
+		PollutionEv: s.PollutionEv + o.PollutionEv,
+	}
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	owner Owner
+	lru   uint64 // last-touch stamp; larger = more recent
+}
+
+// Cache is a single set-associative cache level.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	numSets  int
+	blkShift uint
+	setMask  uint64
+	stamp    uint64
+	stats    Stats
+}
+
+// New builds a cache from cfg. Size, Assoc and BlockSize must describe a
+// power-of-two number of sets.
+func New(cfg Config) *Cache {
+	if cfg.Size <= 0 || cfg.Assoc <= 0 || cfg.BlockSize <= 0 {
+		panic(fmt.Sprintf("cache %q: invalid config %+v", cfg.Name, cfg))
+	}
+	numSets := cfg.Size / (cfg.Assoc * cfg.BlockSize)
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache %q: sets=%d not a power of two", cfg.Name, numSets))
+	}
+	c := &Cache{cfg: cfg, numSets: numSets, setMask: uint64(numSets - 1)}
+	for s := 1; s < cfg.BlockSize; s <<= 1 {
+		c.blkShift++
+	}
+	c.sets = make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineAddr returns the line-aligned address for addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.blkShift << c.blkShift }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	blk := addr >> c.blkShift
+	return int(blk & c.setMask), blk >> 0 // full block number as tag (set bits redundant but harmless)
+}
+
+// AccessResult reports the outcome of one cache access.
+type AccessResult struct {
+	Hit          bool
+	Evicted      bool   // a valid line was displaced by the fill
+	EvictedDirty bool   // ... and it was dirty (writeback to next level)
+	EvictedAddr  uint64 // line address of the victim
+}
+
+// Access looks up addr, fills on miss (LRU victim), and returns the outcome.
+// isWrite marks the line dirty; owner tags who performed the access; words
+// is the number of word-granularity references the call represents (a 64B
+// streaming touch is 8 word accesses but at most one miss), keeping miss
+// *rates* comparable to per-reference statistics.
+func (c *Cache) Access(addr uint64, words int, isWrite bool, owner Owner) AccessResult {
+	if words < 1 {
+		words = 1
+	}
+	c.stamp++
+	c.stats.Accesses += uint64(words)
+	if owner == OwnerOS {
+		c.stats.OSAccesses += uint64(words)
+	}
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.stamp
+			if isWrite {
+				lines[i].dirty = true
+			}
+			lines[i].owner = owner
+			return AccessResult{Hit: true}
+		}
+	}
+	// Miss: fill into invalid way or LRU victim.
+	c.stats.Misses++
+	if owner == OwnerOS {
+		c.stats.OSMisses++
+	}
+	victim := -1
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+	}
+	var res AccessResult
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(lines); i++ {
+			if lines[i].lru < lines[victim].lru {
+				victim = i
+			}
+		}
+		res.Evicted = true
+		res.EvictedDirty = lines[victim].dirty
+		res.EvictedAddr = lines[victim].tag << c.blkShift
+		c.stats.Evictions++
+		if res.EvictedDirty {
+			c.stats.Writebacks++
+		}
+	}
+	lines[victim] = line{tag: tag, valid: true, dirty: isWrite, owner: owner, lru: c.stamp}
+	return res
+}
+
+// Probe reports whether addr is present without disturbing LRU state or
+// counters. Used by tests and by the warmup checker.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, ln := range c.sets[set] {
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll drops every line (TLB shootdown / flush semantics).
+func (c *Cache) InvalidateAll() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+}
+
+// Invalidate drops addr's line if present, returning whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			d := lines[i].dirty
+			lines[i] = line{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// Touch performs an uncounted fill of addr's line: a lookup that, on miss,
+// installs the line over the LRU victim (preferring invalid ways) without
+// perturbing the access/miss statistics. The pollution injector uses it to
+// replay a fast-forwarded OS service's working set: the service's phantom
+// lines compete for capacity like the real lines would have, but the
+// predicted miss counts — which are accounted separately — are not
+// double-counted.
+func (c *Cache) Touch(addr uint64) {
+	c.stamp++
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.stamp
+			lines[i].owner = OwnerOS
+			return
+		}
+	}
+	victim := -1
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(lines); i++ {
+			if lines[i].lru < lines[victim].lru {
+				victim = i
+			}
+		}
+		c.stats.PollutionEv++
+	}
+	lines[victim] = line{tag: tag, valid: true, owner: OwnerOS, lru: c.stamp}
+}
+
+// InjectPollution models the working-set displacement an OS service would
+// have caused had it been simulated in detail (paper §4.5): it performs n
+// victim selections over uniformly random sets, assuming OS pollution is
+// uniformly distributed across sets. In each chosen set the victim
+// preference order follows the paper: an invalid line first, then the valid
+// least-recently-used line (regardless of owner — stale lines the OS itself
+// left behind are displaced like any other), progressing to more recently
+// used lines on later selections of the same set. The victim way is refilled
+// with an OS-owned placeholder line so that subsequent accesses to the
+// displaced data miss, as they would have after real OS execution.
+func (c *Cache) InjectPollution(n int, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		c.stamp++
+		set := rng.Intn(c.numSets)
+		lines := c.sets[set]
+		victim := -1
+		// Invalid line first: pollution then consumes capacity without
+		// displacing live data.
+		for w := range lines {
+			if !lines[w].valid {
+				victim = w
+				break
+			}
+		}
+		if victim < 0 {
+			// Least-recently-used line, any owner.
+			victim = 0
+			for w := 1; w < len(lines); w++ {
+				if lines[w].lru < lines[victim].lru {
+					victim = w
+				}
+			}
+		}
+		if lines[victim].valid {
+			c.stats.PollutionEv++
+		}
+		// Placeholder tag outside any allocated region; unique per injection
+		// so placeholder lines never alias real data.
+		phantom := (uint64(0xF0000000_00000000) | c.stamp<<c.blkShift) >> c.blkShift
+		lines[victim] = line{tag: phantom, valid: true, owner: OwnerOS, lru: c.stamp}
+	}
+}
+
+// OwnedLines counts valid lines per owner; used by tests and diagnostics.
+func (c *Cache) OwnedLines() (app, os int) {
+	for _, set := range c.sets {
+		for _, ln := range set {
+			if !ln.valid {
+				continue
+			}
+			if ln.owner == OwnerApp {
+				app++
+			} else {
+				os++
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sort"
+
+	"fssim/internal/isa"
+	"fssim/internal/machine"
+)
+
+// Accelerator is the machine-facing engine: one Learner per OS service type,
+// dispatched at every service interval boundary. Attach it to a machine
+// running in Accelerated mode via Machine.SetSink.
+type Accelerator struct {
+	params   Params
+	learners map[isa.ServiceID]*Learner
+	order    []isa.ServiceID // creation order for stable reporting
+	// deferred suppresses learning during a workload's warm-up period (the
+	// paper measures after skipping warm-up requests); Arm enables it.
+	deferred bool
+}
+
+// NewAccelerator returns an accelerator with the given parameters.
+func NewAccelerator(p Params) *Accelerator {
+	if p.MovingWindow <= 0 {
+		p.MovingWindow = 100
+	}
+	return &Accelerator{params: p, learners: make(map[isa.ServiceID]*Learner)}
+}
+
+var _ machine.IntervalSink = (*Accelerator)(nil)
+
+func (a *Accelerator) learner(svc isa.ServiceID) *Learner {
+	l := a.learners[svc]
+	if l == nil {
+		l = NewLearner(svc, a.params)
+		a.learners[svc] = l
+		a.order = append(a.order, svc)
+	}
+	return l
+}
+
+// Defer suppresses learning until Arm is called: every interval runs
+// detailed and is ignored. Used while a workload warms up.
+func (a *Accelerator) Defer() { a.deferred = true }
+
+// Arm enables the scheme after a deferred warm-up.
+func (a *Accelerator) Arm() { a.deferred = false }
+
+// OnServiceStart implements machine.IntervalSink: it decides per instance
+// whether to run detailed simulation (learning) or emulation (prediction),
+// supplying the service's mean CPI for the machine's virtual clock.
+func (a *Accelerator) OnServiceStart(svc isa.ServiceID) (bool, float64) {
+	if a.deferred {
+		return true, 1
+	}
+	l := a.learner(svc)
+	return l.WantDetailed(), l.MinClusterCPI()
+}
+
+// OnServiceEnd implements machine.IntervalSink: detailed instances feed the
+// learner; emulated instances get their performance predicted from the PLT.
+func (a *Accelerator) OnServiceEnd(svc isa.ServiceID, sig machine.Signature, meas *machine.Measurement) *machine.Prediction {
+	if a.deferred {
+		return nil
+	}
+	l := a.learner(svc)
+	if meas != nil {
+		l.Observe(sig, meas)
+		return nil
+	}
+	return l.Predict(sig)
+}
+
+// Params returns the accelerator's configuration.
+func (a *Accelerator) Params() Params { return a.params }
+
+// Learners returns the per-service learners in first-seen order.
+func (a *Accelerator) Learners() []*Learner {
+	out := make([]*Learner, 0, len(a.order))
+	for _, svc := range a.order {
+		out = append(out, a.learners[svc])
+	}
+	return out
+}
+
+// Summary aggregates learner counters across services.
+type Summary struct {
+	Services  int
+	Learned   int64
+	Predicted int64
+	Outliers  int64
+	Relearns  int64
+	Clusters  int
+}
+
+// Coverage returns predicted / (learned + predicted) — the fraction of OS
+// service invocations whose detailed simulation was skipped.
+func (s Summary) Coverage() float64 {
+	total := s.Learned + s.Predicted
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Predicted) / float64(total)
+}
+
+// Summary returns aggregate counters.
+func (a *Accelerator) Summary() Summary {
+	var s Summary
+	s.Services = len(a.learners)
+	for _, l := range a.learners {
+		// Warm-up instances are neither learned nor predicted but were fully
+		// simulated; count them against coverage via seen.
+		s.Learned += l.seen - l.Predicted
+		s.Predicted += l.Predicted
+		s.Outliers += l.Outliers
+		s.Relearns += l.Relearns
+		s.Clusters += len(l.Table.Clusters)
+	}
+	return s
+}
+
+// ServiceReport is a per-service summary row for diagnostics and the
+// characterization tools.
+type ServiceReport struct {
+	Service   isa.ServiceID
+	Seen      int64
+	Clusters  int
+	Predicted int64
+	Outliers  int64
+	Relearns  int64
+}
+
+// Report returns per-service rows sorted by invocation count (descending).
+func (a *Accelerator) Report() []ServiceReport {
+	out := make([]ServiceReport, 0, len(a.learners))
+	for _, l := range a.learners {
+		out = append(out, ServiceReport{
+			Service: l.Svc, Seen: l.seen, Clusters: len(l.Table.Clusters),
+			Predicted: l.Predicted, Outliers: l.Outliers, Relearns: l.Relearns,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seen > out[j].Seen })
+	return out
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fssim/internal/isa"
+	"fssim/internal/machine"
+	"fssim/internal/stats"
+)
+
+// Strategy selects the re-learning policy used when prediction-period
+// signatures mismatch every PLT entry (paper §4.4).
+type Strategy int
+
+const (
+	// BestMatch never re-learns: outliers are predicted from the nearest
+	// centroid. Highest coverage, lowest accuracy.
+	BestMatch Strategy = iota
+	// Eager re-learns on every outlier. Best accuracy, lowest coverage.
+	Eager
+	// Delayed re-learns once an outlier cluster has been seen
+	// DelayedThreshold times.
+	Delayed
+	// Statistical re-learns when a one-sided 95% Student-t upper bound on an
+	// outlier cluster's estimated probability of occurrence reaches PMin.
+	Statistical
+)
+
+var strategyNames = [...]string{"Best-Match", "Eager", "Delayed", "Statistical"}
+
+func (s Strategy) String() string { return strategyNames[s] }
+
+// Strategies lists all four in the paper's comparison order (Fig 11).
+func Strategies() []Strategy { return []Strategy{BestMatch, Statistical, Delayed, Eager} }
+
+// Params collects the scheme's tunables with the paper's defaults.
+type Params struct {
+	Strategy  Strategy
+	PMin      float64 // minimum probability of occurrence to capture (0.03)
+	DoC       float64 // degree of confidence for the learning window (0.95)
+	RangeFrac float64 // scaled-cluster range fraction (0.05 = ±5%)
+	// WarmupSkip delays the start of initial learning until the service has
+	// occurred this many times, avoiding cold-start effects (paper §4.4).
+	WarmupSkip int
+	// LearnWindow overrides the statically derived initial learning window
+	// (0 = derive from PMin and DoC; ≈100 at 95%).
+	LearnWindow int
+	// DelayedThreshold is the outlier count that triggers re-learning under
+	// the Delayed strategy.
+	DelayedThreshold int
+	// MinEPOs is the number of probability estimates required before the
+	// Statistical strategy tests its hypothesis.
+	MinEPOs int
+	// MovingWindow is W, the span of invocations over which each estimated
+	// probability of occurrence is computed.
+	MovingWindow int
+	// FixedRange, when positive, replaces scaled cluster ranges with fixed
+	// ±FixedRange-instruction bins — the alternative the paper rejects in
+	// §4.2, kept for the ablation study.
+	FixedRange float64
+	// MixSignature extends the signature from the instruction count alone to
+	// the instruction mix (count + loads + stores + branches), all still
+	// obtainable in emulation mode — the future-work direction named in the
+	// paper's §3. Finer signatures distinguish aliased behavior points at
+	// some cost in learning time and coverage.
+	MixSignature bool
+}
+
+// DefaultParams returns the paper's configuration: Statistical strategy,
+// p_min = 3%, 95% confidence (learning window ~100), ±5% scaled clusters,
+// warmup skip of 5, Delayed threshold 4, ≥4 EPOs over W = 100.
+func DefaultParams() Params {
+	return Params{
+		Strategy:         Statistical,
+		PMin:             0.03,
+		DoC:              0.95,
+		RangeFrac:        0.05,
+		WarmupSkip:       5,
+		DelayedThreshold: 4,
+		MinEPOs:          4,
+		MovingWindow:     100,
+	}
+}
+
+// Window returns the effective initial learning window.
+func (p Params) Window() int {
+	if p.LearnWindow > 0 {
+		return p.LearnWindow
+	}
+	return stats.LearningWindow(p.PMin, p.DoC)
+}
+
+type phase int
+
+const (
+	phaseWarmup phase = iota
+	phaseLearning
+	phasePredicting
+)
+
+// outlierEntry is a special PLT entry for a signature cluster observed
+// during prediction periods that matches no learned cluster. It carries no
+// performance numbers — only occurrence bookkeeping (paper §4.4).
+type outlierEntry struct {
+	id       int
+	centroid float64
+	n        int64
+	epos     []float64
+}
+
+func (o *outlierEntry) inRange(sig Signature, frac float64) bool {
+	d := float64(sig.Insts) - o.centroid
+	if d < 0 {
+		d = -d
+	}
+	return d <= o.centroid*frac
+}
+
+// Learner runs the learning/prediction state machine of one OS service.
+type Learner struct {
+	Svc    isa.ServiceID
+	Table  PLT
+	params Params
+
+	phase     phase
+	seen      int64
+	warmLeft  int
+	learnLeft int
+
+	// ring of the last MovingWindow invocation outcomes: the outlier-entry
+	// id each invocation matched, or -1 (matched a learned cluster /
+	// detailed simulation).
+	ring    []int16
+	ringPos int
+
+	outliers  []*outlierEntry
+	nextOutID int
+
+	// Counters for evaluation.
+	Learned   int64 // instances fully simulated and recorded
+	Predicted int64 // instances fast-forwarded
+	Outliers  int64 // predicted instances with no in-range cluster
+	Relearns  int64 // re-learning periods triggered
+
+	// CPI estimation over all observed (detailed) instances; drives the
+	// machine's virtual clock during fast-forwarded intervals.
+	obsCycles float64
+	obsInsts  float64
+}
+
+// NewLearner returns a learner for svc.
+func NewLearner(svc isa.ServiceID, p Params) *Learner {
+	l := &Learner{
+		Svc: svc, params: p,
+		phase:     phaseWarmup,
+		warmLeft:  p.WarmupSkip,
+		ring:      make([]int16, p.MovingWindow),
+		nextOutID: 1, // 0 is reserved; the ring's "no outlier" marker is -1
+	}
+	for i := range l.ring {
+		l.ring[i] = -1
+	}
+	return l
+}
+
+// WantDetailed reports whether the next instance should be fully simulated
+// (warm-up and learning periods) or fast-forwarded (prediction periods).
+func (l *Learner) WantDetailed() bool { return l.phase != phasePredicting }
+
+// Phase returns a human-readable phase name (diagnostics).
+func (l *Learner) Phase() string {
+	return [...]string{"warmup", "learning", "predicting"}[l.phase]
+}
+
+func (l *Learner) pushRing(outID int16) {
+	if len(l.ring) == 0 {
+		return
+	}
+	l.ring[l.ringPos] = outID
+	l.ringPos = (l.ringPos + 1) % len(l.ring)
+}
+
+// countInWindow returns how often outlier id occurred in the last W
+// invocations.
+func (l *Learner) countInWindow(id int16) int {
+	n := 0
+	for _, v := range l.ring {
+		if v == id {
+			n++
+		}
+	}
+	return n
+}
+
+// CPI returns the service's mean cycles per instruction over the instances
+// observed in detail (1.0 before any observation).
+func (l *Learner) CPI() float64 {
+	if l.obsInsts == 0 {
+		return 1
+	}
+	return l.obsCycles / l.obsInsts
+}
+
+// MinClusterCPI returns the smallest per-cluster mean CPI — the conservative
+// rate for the machine's virtual clock during fast-forwarding. Clusters that
+// include I/O waits have enormous CPIs; advancing at the cheapest cluster's
+// rate guarantees the virtual clock undershoots, and the final cluster
+// prediction supplies the remainder.
+func (l *Learner) MinClusterCPI() float64 {
+	best := 0.0
+	for _, c := range l.Table.Clusters {
+		if c.Centroid <= 0 {
+			continue
+		}
+		cpi := c.Perf.Cycles.Mean() / c.Centroid
+		if best == 0 || cpi < best {
+			best = cpi
+		}
+	}
+	if best == 0 {
+		return l.CPI()
+	}
+	return best
+}
+
+// Observe folds a detailed-simulation instance into the learner (warm-up or
+// learning period).
+func (l *Learner) Observe(sig Signature, m *machine.Measurement) {
+	l.seen++
+	l.pushRing(-1)
+	l.obsCycles += float64(m.Cycles)
+	l.obsInsts += float64(m.Insts)
+	switch l.phase {
+	case phaseWarmup:
+		// Cold-start instances are simulated but not recorded (their cache
+		// behavior is not representative — paper §4.4).
+		l.warmLeft--
+		if l.warmLeft <= 0 {
+			l.phase = phaseLearning
+			l.learnLeft = l.params.Window()
+		}
+	case phaseLearning:
+		l.Table.Learn(sig, m, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature)
+		l.Learned++
+		l.learnLeft--
+		if l.learnLeft <= 0 {
+			l.phase = phasePredicting
+		}
+	default:
+		// Detailed instance while predicting should not happen; record it
+		// anyway — information is information.
+		l.Table.Learn(sig, m, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature)
+		l.Learned++
+	}
+}
+
+// Predict returns the performance prediction for a fast-forwarded instance
+// with the given signature, applying the re-learning strategy on mismatch.
+func (l *Learner) Predict(sig Signature) *machine.Prediction {
+	l.seen++
+	l.Predicted++
+	if c := l.Table.Match(sig, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature); c != nil {
+		l.pushRing(-1)
+		return c.Perf.prediction()
+	}
+
+	// Outlier: predict from the nearest centroid, then decide re-learning.
+	l.Outliers++
+	pred := l.fallback(sig)
+	switch l.params.Strategy {
+	case BestMatch:
+		l.pushRing(-1)
+	case Eager:
+		l.pushRing(-1)
+		l.triggerRelearn()
+	case Delayed:
+		o := l.outlier(sig)
+		l.pushRing(int16(o.id))
+		if o.n >= int64(l.params.DelayedThreshold) {
+			l.triggerRelearn()
+		}
+	case Statistical:
+		o := l.outlier(sig)
+		l.pushRing(int16(o.id))
+		// Each match contributes one estimated probability of occurrence
+		// over its own moving window (paper Eq 4-5).
+		epo := float64(l.countInWindow(int16(o.id))) / float64(len(l.ring))
+		o.epos = append(o.epos, epo)
+		if len(o.epos) >= l.params.MinEPOs {
+			var w stats.Welford
+			for _, p := range o.epos {
+				w.Add(p)
+			}
+			bound := stats.TUpperBound95(w.Mean(), w.Std(), len(o.epos))
+			// If we cannot be 95% confident the true probability of
+			// occurrence is below p_min, conservatively re-learn (Eq 8).
+			if bound >= l.params.PMin {
+				l.triggerRelearn()
+			}
+		}
+	}
+	return pred
+}
+
+// fallback predicts an outlier from the nearest cluster, scaled is NOT
+// applied — the paper predicts directly from the closest centroid's stats.
+func (l *Learner) fallback(sig Signature) *machine.Prediction {
+	if c := l.Table.Nearest(sig); c != nil {
+		return c.Perf.prediction()
+	}
+	// Empty table (pathological): assume IPC 1 and no misses.
+	return &machine.Prediction{Cycles: sig.Insts}
+}
+
+// outlier finds or creates the outlier entry matching sig.
+func (l *Learner) outlier(sig Signature) *outlierEntry {
+	var best *outlierEntry
+	for _, o := range l.outliers {
+		if !o.inRange(sig, l.params.RangeFrac) {
+			continue
+		}
+		if best == nil ||
+			absf(o.centroid-float64(sig.Insts)) < absf(best.centroid-float64(sig.Insts)) {
+			best = o
+		}
+	}
+	if best == nil {
+		best = &outlierEntry{id: l.nextOutID}
+		l.nextOutID++
+		if l.nextOutID > 30000 {
+			l.nextOutID = 1 // int16 ring ids wrap; ancient ids are long gone
+		}
+		l.outliers = append(l.outliers, best)
+	}
+	best.n++
+	best.centroid += (float64(sig.Insts) - best.centroid) / float64(best.n)
+	return best
+}
+
+// triggerRelearn starts a re-learning period of the same size as the initial
+// window and clears all outlier entries (paper §4.4).
+func (l *Learner) triggerRelearn() {
+	l.phase = phaseLearning
+	l.learnLeft = l.params.Window()
+	l.outliers = nil
+	l.Relearns++
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

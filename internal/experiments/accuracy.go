@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"fssim/internal/core"
+	"fssim/internal/machine"
+	"fssim/internal/workload"
+)
+
+// accelRun runs one benchmark under the accelerated scheme with the given
+// strategy, returning the result and the accelerator for inspection.
+func accelRun(cfg Config, name string, strat core.Strategy, l2 int) (workload.Result, *core.Accelerator, error) {
+	params := core.DefaultParams()
+	params.Strategy = strat
+	acc := core.NewAccelerator(params)
+	res, err := runBench(cfg, name, machine.Accelerated, l2, func(o *workload.Options) {
+		o.Sink = acc
+	})
+	return res, acc, err
+}
+
+func absErr(pred, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	return math.Abs(pred-truth) / truth
+}
+
+// Fig8 regenerates Figure 8: execution time and IPC predicted by the
+// accelerated scheme (Statistical strategy) versus full-system and
+// application-only simulation, normalized to full-system. The paper reports
+// 3.2% average and 4.2% worst-case absolute error for the scheme, against
+// 12.5% average / 39.8% worst for application-only.
+func Fig8(cfg Config) (*Result, error) {
+	t := NewTable("benchmark", "time App+OS", "time Pred", "time AppOnly",
+		"IPC App+OS", "IPC Pred", "IPC AppOnly", "pred err")
+	var sumErr, worst float64
+	n := 0
+	for _, name := range workload.OSIntensiveNames() {
+		full, err := runBench(cfg, name, machine.FullSystem, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		pred, _, err := accelRun(cfg, name, core.Statistical, 0)
+		if err != nil {
+			return nil, err
+		}
+		app, err := runBench(cfg, name, machine.AppOnly, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		fc := float64(full.Stats.Cycles)
+		e := absErr(float64(pred.Stats.Cycles), fc)
+		sumErr += e
+		if e > worst {
+			worst = e
+		}
+		n++
+		t.AddRowf(name, "1.000",
+			f3(float64(pred.Stats.Cycles)/fc),
+			f3(float64(app.Stats.Cycles)/fc),
+			f3(full.Stats.IPC()), f3(pred.Stats.IPC()), f3(app.Stats.IPC()),
+			pct(e))
+	}
+	return &Result{ID: "fig8", Title: Title("fig8"), Table: t, Notes: []string{
+		fmt.Sprintf("prediction error: average %.1f%%, worst case %.1f%% (paper: 3.2%% / 4.2%%)",
+			100*sumErr/float64(n), 100*worst),
+	}}, nil
+}
+
+// Fig9 regenerates Figure 9: L1I / L1D / L2 miss rates from full-system
+// simulation versus the accelerated scheme's effective rates (detailed
+// periods measured + prediction periods estimated). The paper reports
+// differences of 1% or less (1.4% worst, L2 in find-od).
+func Fig9(cfg Config) (*Result, error) {
+	t := NewTable("benchmark", "L1I full", "L1I pred", "L1D full", "L1D pred",
+		"L2 full", "L2 pred", "max |diff|")
+	for _, name := range workload.OSIntensiveNames() {
+		full, err := runBench(cfg, name, machine.FullSystem, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		pred, _, err := accelRun(cfg, name, core.Statistical, 0)
+		if err != nil {
+			return nil, err
+		}
+		fi := full.Stats.Mem.L1I.MissRate()
+		fd := full.Stats.Mem.L1D.MissRate()
+		fl := full.Stats.Mem.L2.MissRate()
+		pi, pd, pl := pred.Stats.MissRates()
+		maxd := math.Max(math.Abs(fi-pi), math.Max(math.Abs(fd-pd), math.Abs(fl-pl)))
+		t.AddRowf(name, pct(fi), pct(pi), pct(fd), pct(pd), pct(fl), pct(pl), pct(maxd))
+	}
+	return &Result{ID: "fig9", Title: Title("fig9"), Table: t}, nil
+}
+
+// Fig10 repeats Figure 2's L2-size study with the accelerated simulator in
+// the comparison (Figure 10): the scheme must capture the speedup of a 1MB
+// L2 over 512KB that application-only simulation misses.
+func Fig10(cfg Config) (*Result, error) {
+	t := NewTable("benchmark", "App Only", "App+OS", "App+OS Pred")
+	for _, name := range workload.OSIntensiveNames() {
+		row := []string{name}
+		for _, mode := range []machine.SimMode{machine.AppOnly, machine.FullSystem} {
+			small, err := runBench(cfg, name, mode, 512<<10, nil)
+			if err != nil {
+				return nil, err
+			}
+			large, err := runBench(cfg, name, mode, 1<<20, nil)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(ratio(small.Stats.Cycles, large.Stats.Cycles)))
+		}
+		small, _, err := accelRun(cfg, name, core.Statistical, 512<<10)
+		if err != nil {
+			return nil, err
+		}
+		large, _, err := accelRun(cfg, name, core.Statistical, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, f2(ratio(small.Stats.Cycles, large.Stats.Cycles)))
+		t.AddRowf(row...)
+	}
+	return &Result{ID: "fig10", Title: Title("fig10"), Table: t}, nil
+}
+
+// Fig11 regenerates Figure 11: coverage and absolute execution-time error of
+// the four re-learning strategies. The paper's shape: Best-Match has the
+// highest coverage (93%) but 9.6% average / 29% worst error; Eager the best
+// accuracy (1.5%) but 74% coverage; Statistical and Delayed sit close to
+// Eager's accuracy at close to Best-Match's coverage (89% / 88%).
+func Fig11(cfg Config) (*Result, error) {
+	t := NewTable("benchmark", "strategy", "coverage", "abs error")
+	type agg struct {
+		cov, err float64
+		n        int
+	}
+	aggs := map[core.Strategy]*agg{}
+	for _, name := range workload.OSIntensiveNames() {
+		full, err := runBench(cfg, name, machine.FullSystem, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, strat := range core.Strategies() {
+			pred, acc, err := accelRun(cfg, name, strat, 0)
+			if err != nil {
+				return nil, err
+			}
+			cov := acc.Summary().Coverage()
+			e := absErr(float64(pred.Stats.Cycles), float64(full.Stats.Cycles))
+			a := aggs[strat]
+			if a == nil {
+				a = &agg{}
+				aggs[strat] = a
+			}
+			a.cov += cov
+			a.err += e
+			a.n++
+			t.AddRowf(name, strat.String(), pct(cov), pct(e))
+		}
+	}
+	for _, strat := range core.Strategies() {
+		a := aggs[strat]
+		if a == nil || a.n == 0 {
+			continue
+		}
+		t.AddRowf("average", strat.String(),
+			pct(a.cov/float64(a.n)), pct(a.err/float64(a.n)))
+	}
+	return &Result{ID: "fig11", Title: Title("fig11"), Table: t}, nil
+}
+
+// Fig12 regenerates Figure 12: the absolute execution-time prediction error
+// with L2 sizes of 1MB, 2MB and 4MB (8-way). The paper's observation:
+// accuracy holds across sizes, improving slightly for larger caches.
+func Fig12(cfg Config) (*Result, error) {
+	sizes := []int{1 << 20, 2 << 20, 4 << 20}
+	t := NewTable("benchmark", "1MB", "2MB", "4MB")
+	perSize := make([]float64, len(sizes))
+	n := 0
+	for _, name := range workload.OSIntensiveNames() {
+		row := []string{name}
+		for i, l2 := range sizes {
+			full, err := runBench(cfg, name, machine.FullSystem, l2, nil)
+			if err != nil {
+				return nil, err
+			}
+			pred, _, err := accelRun(cfg, name, core.Statistical, l2)
+			if err != nil {
+				return nil, err
+			}
+			e := absErr(float64(pred.Stats.Cycles), float64(full.Stats.Cycles))
+			perSize[i] += e
+			row = append(row, pct(e))
+		}
+		n++
+		t.AddRowf(row...)
+	}
+	avg := []string{"average"}
+	for _, s := range perSize {
+		avg = append(avg, pct(s/float64(n)))
+	}
+	t.AddRowf(avg...)
+	return &Result{ID: "fig12", Title: Title("fig12"), Table: t}, nil
+}

@@ -1,0 +1,131 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figs 1-12, Tables 1-2) on the simulated platform. Each
+// experiment is a named runner producing a text table whose rows correspond
+// to the series the paper plots; EXPERIMENTS.md records the paper-vs-measured
+// comparison for each.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fssim/internal/kernel"
+	"fssim/internal/machine"
+	"fssim/internal/workload"
+)
+
+// Config scales and seeds the experiment runs.
+type Config struct {
+	Scale   float64 // workload size multiplier (1.0 = defaults)
+	Seed    int64
+	Verbose bool
+}
+
+// DefaultConfig runs at full default workload scale.
+func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 1} }
+
+// Result is one regenerated artifact.
+type Result struct {
+	ID    string
+	Title string
+	Table *Table
+	Notes []string
+}
+
+// Render formats the result for terminal output.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	b.WriteString(r.Table.Render())
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// runner produces one artifact.
+type runner struct {
+	title string
+	fn    func(Config) (*Result, error)
+}
+
+var registry map[string]runner
+
+// The table is populated in init (not a composite-literal initializer)
+// because runners reference Title, which reads the registry.
+func init() {
+	registry = map[string]runner{
+		"fig1":  {"L2 misses, execution time and IPC: full-system vs application-only", Fig1},
+		"fig2":  {"Speedup of 1MB over 512KB L2: app-only vs full-system", Fig2},
+		"fig3":  {"Per-OS-service cycles and IPC (avg ± std), ab-rand and ab-seq", Fig3},
+		"fig4":  {"sys_read execution time across invocations", Fig4},
+		"fig5":  {"sys_read behavior points: instruction x cycle bubble histogram", Fig5},
+		"fig6":  {"Coefficient of variation: non-clustered vs scaled clusters", Fig6},
+		"fig7":  {"Initial learning window vs minimum probability of occurrence", Fig7},
+		"fig8":  {"Execution time and IPC: full vs predicted vs app-only", Fig8},
+		"fig9":  {"Cache miss rates: full-system vs predicted", Fig9},
+		"fig10": {"Speedup of 1MB over 512KB L2 incl. accelerated simulation", Fig10},
+		"fig11": {"Coverage and accuracy of the four re-learning strategies", Fig11},
+		"fig12": {"Prediction error across L2 sizes (1MB/2MB/4MB)", Fig12},
+		"tab1":  {"Simulation-mode slowdown ratios (measured wall-clock)", Table1},
+		"tab2":  {"Estimated simulation speedups (Eq 10)", Table2},
+	}
+}
+
+// IDs returns all experiment ids in paper order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return orderKey(ids[i]) < orderKey(ids[j]) })
+	return ids
+}
+
+func orderKey(id string) int {
+	var n int
+	if strings.HasPrefix(id, "fig") {
+		fmt.Sscanf(id, "fig%d", &n)
+		return n
+	}
+	fmt.Sscanf(id, "tab%d", &n)
+	return 100 + n
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	return r.fn(cfg)
+}
+
+// Title returns an experiment's title.
+func Title(id string) string { return registry[id].title }
+
+// --- shared run helpers ----------------------------------------------------
+
+// runBench runs one benchmark under the given machine mode and L2 size.
+func runBench(cfg Config, name string, mode machine.SimMode, l2 int,
+	opt func(*workload.Options)) (workload.Result, error) {
+	opts := workload.DefaultOptions()
+	opts.Scale = cfg.Scale
+	opts.Machine.Mode = mode
+	opts.Machine.Seed = cfg.Seed
+	if l2 > 0 {
+		opts.Machine.Mem = opts.Machine.Mem.WithL2Size(l2)
+	}
+	if opt != nil {
+		opt(&opts)
+	}
+	return workload.Run(name, opts)
+}
+
+func defaultL2() int { return machine.DefaultConfig().Mem.L2.Size }
+
+var _ = kernel.DefaultTunables // keep the import meaningful for helpers below

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestIDsCoverPaperArtifacts(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 14 {
+		t.Fatalf("have %d experiments, want 14 (Figs 1-12 + Tables 1-2)", len(ids))
+	}
+	if ids[0] != "fig1" || ids[11] != "fig12" || ids[12] != "tab1" || ids[13] != "tab2" {
+		t.Fatalf("ordering wrong: %v", ids)
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Errorf("%s has no title", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", DefaultConfig()); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestFig7MatchesPaperAnchors(t *testing.T) {
+	res, err := Run("fig7", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table.Render()
+	// p_min = 3%: ~100 at 95% and a little over 150 at 99% (paper Fig 7).
+	if !strings.Contains(out, "0.030  99") {
+		t.Errorf("fig7 output missing the paper's 95%% anchor:\n%s", out)
+	}
+	if !strings.Contains(out, "152") {
+		t.Errorf("fig7 output missing the paper's 99%% anchor:\n%s", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("x", 1.5)
+	tb.AddRowf("longer-name", "v")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "x          ") {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "1.500") {
+		t.Errorf("float cell not formatted:\n%s", out)
+	}
+}
+
+func TestSpeedupEq10(t *testing.T) {
+	// Paper Eq 10 sanity: full coverage at R=133 gives 133x; zero coverage 1x.
+	if s := SpeedupEq10(1000, 1000, 133); math.Abs(s-133) > 1e-9 {
+		t.Errorf("full-coverage speedup = %v", s)
+	}
+	if s := SpeedupEq10(1000, 0, 133); s != 1 {
+		t.Errorf("zero-coverage speedup = %v", s)
+	}
+	// 89% coverage (the paper's average) at R=133: ~8.5x ceiling for the
+	// covered instructions; the exact value follows Eq 10.
+	want := 1000.0 / (890.0/133 + 110.0)
+	if s := SpeedupEq10(1000, 890, 133); math.Abs(s-want) > 1e-9 {
+		t.Errorf("Eq10(89%%) = %v, want %v", s, want)
+	}
+}
+
+func TestMeasureModeCostsOrdering(t *testing.T) {
+	mc := measureModeCosts(400_000)
+	if mc.Emulation <= 0 || mc.InorderNoCache <= 0 {
+		t.Fatalf("non-positive costs: %+v", mc)
+	}
+	if mc.Emulation >= mc.InorderNoCache {
+		t.Errorf("emulation (%v) not cheaper than inorder-nocache (%v)",
+			mc.Emulation, mc.InorderNoCache)
+	}
+	if mc.InorderCache <= mc.InorderNoCache {
+		t.Errorf("caches did not add cost: %v vs %v", mc.InorderCache, mc.InorderNoCache)
+	}
+	if mc.OOOCache <= mc.OOONoCache {
+		t.Errorf("ooo-cache (%v) not slower than ooo-nocache (%v)",
+			mc.OOOCache, mc.OOONoCache)
+	}
+}
+
+// TestFig6SmallScale exercises the characterization pipeline end to end at a
+// tiny scale: clustering must reduce the execution-time CV (the paper's
+// Fig 6 conclusion).
+func TestFig6SmallScale(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.2
+	res, err := Run("fig6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last row is the average: clustered time CV < non-clustered.
+	avg := res.Table.Rows[len(res.Table.Rows)-1]
+	var non, clu float64
+	if _, err := fmtSscan(avg[1], &non); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(avg[2], &clu); err != nil {
+		t.Fatal(err)
+	}
+	if clu >= non {
+		t.Errorf("clustering did not reduce time CV: %.3f vs %.3f", clu, non)
+	}
+}
+
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscanf(s, "%f", v) }
+
+// TestAllExperimentsSmoke runs every artifact runner end to end at a small
+// scale: each must produce a non-empty table without error. Skipped under
+// -short (it simulates dozens of workload runs).
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: runs every experiment")
+	}
+	cfg := DefaultConfig()
+	cfg.Scale = 0.15
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Table.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if res.Render() == "" {
+				t.Fatal("empty render")
+			}
+		})
+	}
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fssim/internal/stats"
+)
+
+// Fig7 regenerates Figure 7: the initial learning window (number of trials)
+// required to capture, at 95% and 99% confidence, every behavior cluster
+// whose probability of occurrence is at least p_min. The paper's anchor
+// points: at p_min = 3%, ~100 trials at 95% and a little over 150 at 99%.
+func Fig7(cfg Config) (*Result, error) {
+	t := NewTable("p_min", "window @95%", "window @99%")
+	for _, pmin := range []float64{
+		0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.08,
+		0.10, 0.12, 0.14, 0.16, 0.18, 0.20,
+	} {
+		t.AddRowf(fmt.Sprintf("%.3f", pmin),
+			fmt.Sprint(stats.LearningWindow(pmin, 0.95)),
+			fmt.Sprint(stats.LearningWindow(pmin, 0.99)))
+	}
+	return &Result{ID: "fig7", Title: Title("fig7"), Table: t, Notes: []string{
+		"Closed form of paper Eq 3: smallest N with 1-(1-p_min)^N >= DoC.",
+	}}, nil
+}

@@ -1,0 +1,167 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+
+	"fssim/internal/isa"
+	"fssim/internal/kernel"
+	"fssim/internal/machine"
+)
+
+func runKernel(t *testing.T, setup func(*kernel.Kernel)) (*machine.Machine, *kernel.Kernel, map[isa.ServiceID]int) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	m := machine.New(cfg)
+	services := map[isa.ServiceID]int{}
+	m.SetObserver(func(r machine.IntervalRecord) { services[r.Service]++ })
+	k := kernel.New(m, kernel.DefaultTunables())
+	setup(k)
+	k.Run()
+	return m, k, services
+}
+
+// TestWebServerServiceMix checks the web workload invokes the paper's Fig 3
+// service set: read, writev, open, close, stat64, fcntl64, gettimeofday,
+// poll, socketcall, ipc, write, plus NIC interrupts.
+func TestWebServerServiceMix(t *testing.T) {
+	cfg := DefaultWebConfig(false, 40)
+	cfg.Warmup = 8
+	_, k, services := runKernel(t, func(k *kernel.Kernel) { SetupWebServer(k, cfg) })
+	want := []uint16{
+		isa.SysRead, isa.SysWritev, isa.SysOpen, isa.SysClose, isa.SysStat64,
+		isa.SysFstat64, isa.SysFcntl64, isa.SysGettimeofday, isa.SysPoll,
+		isa.SysSocketcall, isa.SysIpc, isa.SysWrite,
+	}
+	for _, nr := range want {
+		if services[isa.Sys(nr)] == 0 {
+			t.Errorf("service %v never invoked", isa.Sys(nr))
+		}
+	}
+	if services[isa.Irq(isa.IrqNIC)] == 0 {
+		t.Error("no NIC interrupts")
+	}
+	if got := k.Net().BytesTx; got < 40*13<<10 {
+		t.Errorf("server transmitted only %d bytes", got)
+	}
+}
+
+// TestAbSeqOrdering checks ab-seq's size-sorted request order.
+func TestAbSeqOrdering(t *testing.T) {
+	cfg := DefaultWebConfig(true, 16)
+	cfg.Warmup = 0
+	ab := &abClient{cfg: cfg, paths: []string{"a", "b", "c", "d", "e", "f", "g", "h"}}
+	ab.buildOrder()
+	prev := -1
+	for _, idx := range ab.order {
+		if idx < prev {
+			t.Fatalf("ab-seq order not monotonically increasing: %v", ab.order)
+		}
+		prev = idx
+	}
+}
+
+func TestDuWalksWholeTree(t *testing.T) {
+	tree := DefaultTreeConfig()
+	tree.TopDirs, tree.SubdirsPer, tree.FilesPerDir = 3, 2, 4
+	var files int
+	_, _, services := runKernel(t, func(k *kernel.Kernel) {
+		files = BuildTree(k, tree)
+		SetupDu(k, tree)
+	})
+	if files != 3*2*4 {
+		t.Fatalf("tree built %d files", files)
+	}
+	if services[isa.Sys(isa.SysLstat64)] < files {
+		t.Errorf("lstat64 invoked %d times for %d files",
+			services[isa.Sys(isa.SysLstat64)], files)
+	}
+	if services[isa.Sys(isa.SysGetdents64)] == 0 ||
+		services[isa.Sys(isa.SysChdir)] == 0 {
+		t.Error("du missing directory-walk services")
+	}
+}
+
+func TestFindOdSpawnsChildren(t *testing.T) {
+	cfg := DefaultFindOdConfig()
+	cfg.Tree.TopDirs, cfg.Tree.SubdirsPer, cfg.Tree.FilesPerDir = 2, 2, 3
+	cfg.TopDirs = 2
+	_, k, services := runKernel(t, func(k *kernel.Kernel) {
+		BuildTree(k, cfg.Tree)
+		SetupFindOd(k, cfg)
+	})
+	wantFiles := 2 * 2 * 3
+	// Blocking services (waitpid, execve's binary read) split across context
+	// switches into multiple intervals, so counts are >= the syscall count.
+	for _, nr := range []uint16{isa.SysClone, isa.SysExecve, isa.SysWaitpid, isa.SysExitGroup} {
+		if services[isa.Sys(nr)] < wantFiles {
+			t.Errorf("%v produced %d intervals, want >= %d",
+				isa.Sys(nr), services[isa.Sys(nr)], wantFiles)
+		}
+	}
+	if services[isa.Sys(isa.SysClone)] != wantFiles {
+		t.Errorf("clone produced %d intervals, want exactly %d",
+			services[isa.Sys(isa.SysClone)], wantFiles)
+	}
+	if k.ContextSwitches() == 0 {
+		t.Error("fork/exec workload produced no context switches")
+	}
+}
+
+func TestIperfTransfersAll(t *testing.T) {
+	cfg := IperfConfig{Writes: 64, Warmup: 8, WriteSize: 8 << 10}
+	var st *IperfStats
+	_, k, services := runKernel(t, func(k *kernel.Kernel) { st = SetupIperf(k, cfg) })
+	want := (cfg.Writes + cfg.Warmup) * cfg.WriteSize
+	// The last few deliveries may still be in flight when the client exits.
+	if st.BytesReceived < want*9/10 {
+		t.Errorf("sink received %d of %d bytes", st.BytesReceived, want)
+	}
+	if services[isa.Sys(isa.SysSocketcall)] < cfg.Writes {
+		t.Errorf("socketcall invoked %d times", services[isa.Sys(isa.SysSocketcall)])
+	}
+	_ = k
+}
+
+// TestSpecKernelsAreUserDominated checks the SPEC-like controls stay
+// overwhelmingly in user mode after warm-up faults.
+func TestSpecKernelsAreUserDominated(t *testing.T) {
+	for _, name := range []string{"gzip", "vpr", "art", "swim"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, _, services := runKernel(t, func(k *kernel.Kernel) {
+				SetupSpec(k, name, SpecConfig{WorkScale: 0.2})
+			})
+			st := m.Stats()
+			frac := float64(st.OSInsts) / float64(st.Insts)
+			if frac > 0.35 {
+				t.Errorf("%s ran %.0f%% OS instructions", name, 100*frac)
+			}
+			if services[isa.Exc(isa.ExcPageFault)] == 0 {
+				t.Errorf("%s took no demand-paging faults", name)
+			}
+		})
+	}
+}
+
+func TestSpecUnknownPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "unknown") {
+			t.Error("unknown SPEC kernel should panic")
+		}
+	}()
+	cfg := machine.DefaultConfig()
+	m := machine.New(cfg)
+	k := kernel.New(m, kernel.DefaultTunables())
+	SetupSpec(k, "nosuch", SpecConfig{})
+}
+
+// TestWarmupFiresOnWeb checks the warm point resets the measured baseline.
+func TestWarmupFiresOnWeb(t *testing.T) {
+	cfg := DefaultWebConfig(false, 24)
+	cfg.Warmup = 8
+	m, _, _ := runKernel(t, func(k *kernel.Kernel) { SetupWebServer(k, cfg) })
+	if !m.Warmed() {
+		t.Fatal("web workload never reached its warm point")
+	}
+}

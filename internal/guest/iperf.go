@@ -1,0 +1,62 @@
+package guest
+
+import (
+	"fssim/internal/kernel"
+	"fssim/internal/machine"
+)
+
+// IperfConfig parameterizes the network-bandwidth benchmark: the client side
+// of iperf performing back-to-back socket writes to an external sink (the
+// paper instruments the number of client socket writes, skipping the first
+// 4096 before measuring).
+type IperfConfig struct {
+	Writes    int // measured socket writes
+	Warmup    int // skipped warm-up writes
+	WriteSize int // bytes per write
+}
+
+// DefaultIperfConfig returns 2048 x 8KB measured writes (16MB transferred)
+// after 192 warm-up writes.
+func DefaultIperfConfig() IperfConfig {
+	return IperfConfig{Writes: 2048, Warmup: 192, WriteSize: 8 << 10}
+}
+
+// IperfStats exposes the sink's view for verification.
+type IperfStats struct {
+	BytesReceived int
+}
+
+// SetupIperf installs the iperf client thread and its external sink; the
+// returned stats are filled in as the run progresses.
+func SetupIperf(k *kernel.Kernel, cfg IperfConfig) *IperfStats {
+	st := &IperfStats{}
+	sock := k.Net().NewExternalConn(func(n int) { st.BytesReceived += n })
+	code := machine.NewCodeMap(machine.UserCodeBase + 0x140000)
+	pcMain := code.Fn(1024)
+	pcIter := code.Fn(1024)
+	if cfg.Warmup > 0 {
+		k.Machine().DeclareWarmup()
+	}
+	t := k.Spawn("iperf", func(p *kernel.Proc) {
+		fd := p.Connect(sock)
+		buf := p.Scratch()
+		p.U.Loop(cfg.Warmup+cfg.Writes, func(i int) {
+			if i == cfg.Warmup {
+				k.Machine().Warm()
+			}
+			p.U.Call(pcIter)
+			// iperf refreshes its payload pattern and timestamps
+			// periodically between writes.
+			p.U.Mix(40)
+			if i%8 == 7 {
+				p.Gettimeofday()
+			}
+			p.Send(fd, buf, cfg.WriteSize)
+			p.U.Ret()
+		})
+		p.Gettimeofday()
+		p.Close(fd)
+	})
+	t.SetEntry(pcMain)
+	return st
+}

@@ -1,0 +1,208 @@
+package guest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fssim/internal/kernel"
+	"fssim/internal/machine"
+)
+
+// TreeConfig describes the synthetic /usr tree the Unix-tool benchmarks walk.
+type TreeConfig struct {
+	Root        string
+	TopDirs     int
+	SubdirsPer  int
+	FilesPerDir int
+	MinFileSize int64
+	MaxFileSize int64
+	Seed        int64
+}
+
+// DefaultTreeConfig returns a ~1000-file tree under /usr.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{
+		Root: "/usr", TopDirs: 10, SubdirsPer: 6, FilesPerDir: 24,
+		MinFileSize: 512, MaxFileSize: 12 << 10, Seed: 11,
+	}
+}
+
+// BuildTree populates the filesystem with the synthetic tree and returns the
+// number of regular files created (setup-time host operation).
+func BuildTree(k *kernel.Kernel, cfg TreeConfig) int {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	files := 0
+	span := cfg.MaxFileSize - cfg.MinFileSize
+	for d := 0; d < cfg.TopDirs; d++ {
+		for s := 0; s < cfg.SubdirsPer; s++ {
+			dir := fmt.Sprintf("%s/dir%02d/sub%02d", cfg.Root, d, s)
+			k.FS().MustMkdir(dir)
+			for f := 0; f < cfg.FilesPerDir; f++ {
+				size := cfg.MinFileSize + rng.Int63n(span+1)
+				k.FS().MustCreate(fmt.Sprintf("%s/file%03d", dir, f), size)
+				files++
+			}
+		}
+	}
+	return files
+}
+
+// SetupDu installs the du benchmark: a single thread summarizing disk usage
+// of the tree with the fts-style chdir walk real du performs — open(.),
+// fstat64, getdents64 in chunks, lstat64 per entry, and one formatted write
+// per directory.
+func SetupDu(k *kernel.Kernel, tree TreeConfig) {
+	k.FS().MustDevNull("/dev/null")
+	code := machine.NewCodeMap(machine.UserCodeBase + 0x80000)
+	pcWalk := code.Fn(1536)
+	pcFormat := code.Fn(512)
+	t := k.Spawn("du", func(p *kernel.Proc) {
+		out := p.Open("/dev/null")
+		duWalk(p, tree.Root, pcWalk, pcFormat, out)
+		p.Close(out)
+	})
+	t.SetEntry(code.Fn(256))
+}
+
+func duWalk(p *kernel.Proc, dir string, pcWalk, pcFormat uint64, out int) int64 {
+	p.U.Call(pcWalk)
+	defer p.U.Ret()
+	if !p.Chdir(dir) {
+		return 0
+	}
+	fd := p.Open(".")
+	p.Fstat64(fd)
+	var total int64
+	buf := p.Scratch()
+	for {
+		ents := p.Getdents64(fd, buf, 32)
+		if len(ents) == 0 {
+			break
+		}
+		for _, ent := range ents {
+			p.U.Mix(24) // fts entry bookkeeping
+			if ent.IsDir {
+				total += duWalk(p, ent.Name, pcWalk, pcFormat, out)
+			} else {
+				p.Lstat64(ent.Name)
+				p.U.Mix(18)
+				total += ent.Size
+			}
+		}
+	}
+	p.Close(fd)
+	// "du -h" prints one line per directory.
+	p.U.Call(pcFormat)
+	p.U.Mix(70)
+	p.U.Ret()
+	p.Write(out, buf, 48)
+	p.Chdir("..")
+	return total
+}
+
+// FindOdConfig parameterizes the find|od benchmark.
+type FindOdConfig struct {
+	Tree     TreeConfig
+	TopDirs  int // restrict the walk to the first N top-level dirs
+	OdBinary string
+}
+
+// DefaultFindOdConfig walks a 6-top-dir subtree (~860 files), spawning an od
+// process per file like `find /usr -type f -exec od {} \;`.
+func DefaultFindOdConfig() FindOdConfig {
+	return FindOdConfig{Tree: DefaultTreeConfig(), TopDirs: 6, OdBinary: "/usr/bin/od"}
+}
+
+// SetupFindOd installs the find|od benchmark.
+func SetupFindOd(k *kernel.Kernel, cfg FindOdConfig) {
+	k.FS().MustDevNull("/dev/null")
+	k.FS().MustCreate(cfg.OdBinary, 24<<10)
+	code := machine.NewCodeMap(machine.UserCodeBase + 0xC0000)
+	pcFind := code.Fn(1536)
+	odPCs := odCode()
+	t := k.Spawn("find", func(p *kernel.Proc) {
+		for d := 0; d < cfg.TopDirs && d < cfg.Tree.TopDirs; d++ {
+			findWalk(p, fmt.Sprintf("%s/dir%02d", cfg.Tree.Root, d), pcFind, cfg.OdBinary, odPCs)
+		}
+	})
+	t.SetEntry(code.Fn(256))
+}
+
+func findWalk(p *kernel.Proc, dir string, pcFind uint64, odBin string, od odText) {
+	p.U.Call(pcFind)
+	defer p.U.Ret()
+	if !p.Chdir(dir) {
+		return
+	}
+	fd := p.Open(".")
+	buf := p.Scratch()
+	var subdirs, files []string
+	for {
+		ents := p.Getdents64(fd, buf, 32)
+		if len(ents) == 0 {
+			break
+		}
+		for _, ent := range ents {
+			p.U.Mix(30) // predicate evaluation (-type f)
+			if ent.IsDir {
+				subdirs = append(subdirs, ent.Name)
+			} else {
+				files = append(files, ent.Name)
+			}
+		}
+	}
+	p.Close(fd)
+	cwd := p.Cwd()
+	for _, name := range files {
+		p.Lstat64(name)
+		full := cwd + "/" + name
+		// fork + exec od <file>, then reap it.
+		child := p.Clone("od", func(cp *kernel.Proc) {
+			odBody(cp, odBin, full, od)
+		})
+		child.SetEntry(od.main) // all od processes share the same text
+		p.Waitpid(child)
+	}
+	for _, name := range subdirs {
+		findWalk(p, name, pcFind, odBin, od)
+	}
+	p.Chdir("..")
+}
+
+// odText holds od's shared user-code addresses (all od processes run the
+// same binary).
+type odText struct {
+	main, format uint64
+}
+
+func odCode() odText {
+	code := machine.NewCodeMap(machine.UserCodeBase + 0x100000)
+	return odText{main: code.Fn(1024), format: code.Fn(1024)}
+}
+
+// odBody is one od process: exec the binary, read the file in 4KB chunks,
+// format each chunk in octal, and write the dump to /dev/null.
+func odBody(p *kernel.Proc, bin, path string, od odText) {
+	p.Execve(bin)
+	out := p.Open("/dev/null")
+	fd := p.Open(path)
+	if fd < 0 {
+		p.ExitGroup()
+	}
+	p.Fstat64(fd)
+	buf := p.Scratch()
+	for {
+		got := p.Read(fd, buf, 4096)
+		if got <= 0 {
+			break
+		}
+		p.U.Call(od.format)
+		p.U.ScanLines(buf, (got+63)/64, 64)
+		p.U.Mix(got / 4) // octal formatting
+		p.U.Ret()
+		p.Write(out, buf, got*2)
+	}
+	p.Close(fd)
+	p.Close(out)
+	p.ExitGroup()
+}

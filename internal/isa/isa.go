@@ -1,0 +1,193 @@
+// Package isa defines the synthetic instruction set executed by the simulated
+// machine: dynamic instruction records, opcodes, and OS service identifiers.
+//
+// The simulator is execution-driven: guest and kernel code emit dynamic
+// instructions (with resolved effective addresses and branch outcomes) into the
+// machine, which feeds them to the active backend (detailed timing model or
+// fast emulation). There is no binary encoding; an Inst is the unit of work.
+package isa
+
+import "fmt"
+
+// Opcode classifies a dynamic instruction. Timing models map opcodes to
+// functional-unit latencies; LOAD/STORE additionally access the data cache
+// hierarchy and BRANCH consults the branch predictor.
+type Opcode uint8
+
+const (
+	NOP     Opcode = iota
+	ALU            // integer add/sub/logic/compare, 1 cycle
+	MUL            // integer multiply, 3 cycles
+	DIV            // integer divide, 20 cycles, unpipelined
+	FPU            // floating-point add/mul, 4 cycles
+	FDIV           // floating-point divide/sqrt, 24 cycles, unpipelined
+	LOAD           // memory read via L1D
+	STORE          // memory write via L1D (write-back, allocate)
+	BRANCH         // conditional or unconditional control transfer
+	SYSCALL        // trap into kernel mode
+	IRET           // return from kernel mode
+	numOpcodes
+)
+
+var opcodeNames = [numOpcodes]string{
+	"nop", "alu", "mul", "div", "fpu", "fdiv", "load", "store", "branch", "syscall", "iret",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Inst is one dynamic instruction. PC is filled in by the machine's code
+// cursor; Addr/Size are the resolved effective address and width for memory
+// operations; Taken/Target describe the actual outcome of a BRANCH.
+//
+// Dep encodes data dependences compactly: this instruction's operands become
+// ready when the instruction Dep slots earlier in program order completes
+// (0 means no register dependence, i.e. operands are immediately ready).
+// Dep2 optionally names a second, independent producer. This captures the
+// dependence shapes that dominate timing — pointer chasing (Dep=1 on loads),
+// reductions (dependent ALU chains), and parallel sweeps (Dep=0) — without
+// carrying full register names through the pipeline model.
+type Inst struct {
+	PC     uint64
+	Addr   uint64 // effective address (LOAD/STORE)
+	Target uint64 // branch target (BRANCH)
+	Op     Opcode
+	Size   uint8 // access size in bytes (LOAD/STORE)
+	Dep    uint8 // distance (in dynamic instructions) to first producer; 0 = none
+	Dep2   uint8 // distance to second producer; 0 = none
+	Taken  bool  // actual branch outcome (BRANCH)
+}
+
+// ServiceKind distinguishes the three sources of user→kernel mode switches.
+type ServiceKind uint8
+
+const (
+	KindSyscall   ServiceKind = iota // synchronous, requested by the application
+	KindInterrupt                    // asynchronous, external device
+	KindException                    // synchronous fault (page fault, FP trap, ...)
+)
+
+// ServiceID identifies an OS service type: a (kind, number) pair.
+// Syscall numbers follow the Linux 2.6 i386 system-call table so that
+// characterization output reads like the paper's (sys_read, sys_writev, ...);
+// interrupt numbers are vector numbers (Int_239 = local APIC timer).
+type ServiceID struct {
+	Kind ServiceKind
+	Num  uint16
+}
+
+// Sys returns the ServiceID for system call number n.
+func Sys(n uint16) ServiceID { return ServiceID{KindSyscall, n} }
+
+// Irq returns the ServiceID for interrupt vector n.
+func Irq(n uint16) ServiceID { return ServiceID{KindInterrupt, n} }
+
+// Exc returns the ServiceID for exception vector n.
+func Exc(n uint16) ServiceID { return ServiceID{KindException, n} }
+
+// Linux 2.6 i386 system call numbers used by the simulated kernel.
+const (
+	SysExit         = 1
+	SysFork         = 2
+	SysRead         = 3
+	SysWrite        = 4
+	SysOpen         = 5
+	SysClose        = 6
+	SysWaitpid      = 7
+	SysUnlink       = 10
+	SysExecve       = 11
+	SysChdir        = 12
+	SysTime         = 13
+	SysLseek        = 19
+	SysGetpid       = 20
+	SysAccess       = 33
+	SysKill         = 37
+	SysBrk          = 45
+	SysIoctl        = 54
+	SysFcntl        = 55
+	SysGettimeofday = 78
+	SysMmap         = 90
+	SysMunmap       = 91
+	SysSocketcall   = 102
+	SysStat         = 106
+	SysIpc          = 117
+	SysClone        = 120
+	SysUname        = 122
+	SysMprotect     = 125
+	SysLlseek       = 140
+	SysGetdents     = 141
+	SysSelect       = 142
+	SysReadv        = 145
+	SysWritev       = 146
+	SysSchedYield   = 158
+	SysNanosleep    = 162
+	SysPoll         = 168
+	SysRtSigaction  = 174
+	SysGetcwd       = 183
+	SysMmap2        = 192
+	SysStat64       = 195
+	SysLstat64      = 196
+	SysFstat64      = 197
+	SysGetdents64   = 220
+	SysFcntl64      = 221
+	SysFutex        = 240
+	SysExitGroup    = 252
+)
+
+// Interrupt vectors used by the simulated machine.
+const (
+	IrqDisk  = 49  // block device completion
+	IrqNIC   = 121 // network interface RX/TX
+	IrqTimer = 239 // local APIC timer tick
+)
+
+// Exception vectors.
+const (
+	ExcPageFault = 14
+	ExcFP        = 16
+)
+
+var sysNames = map[uint16]string{
+	SysExit: "exit", SysFork: "fork", SysRead: "read", SysWrite: "write",
+	SysOpen: "open", SysClose: "close", SysWaitpid: "waitpid", SysUnlink: "unlink",
+	SysExecve: "execve", SysChdir: "chdir", SysTime: "time", SysLseek: "lseek",
+	SysGetpid: "getpid", SysAccess: "access", SysKill: "kill", SysBrk: "brk",
+	SysIoctl: "ioctl", SysFcntl: "fcntl", SysGettimeofday: "gettimeofday",
+	SysMmap: "mmap", SysMunmap: "munmap", SysSocketcall: "socketcall",
+	SysStat: "stat", SysIpc: "ipc", SysClone: "clone", SysUname: "uname",
+	SysMprotect: "mprotect", SysLlseek: "llseek", SysGetdents: "getdents",
+	SysSelect: "select", SysReadv: "readv", SysWritev: "writev",
+	SysSchedYield: "sched_yield", SysNanosleep: "nanosleep", SysPoll: "poll",
+	SysRtSigaction: "rt_sigaction", SysGetcwd: "getcwd", SysMmap2: "mmap2",
+	SysStat64: "stat64", SysLstat64: "lstat64", SysFstat64: "fstat64",
+	SysGetdents64: "getdents64", SysFcntl64: "fcntl64", SysFutex: "futex",
+	SysExitGroup: "exit_group",
+}
+
+var excNames = map[uint16]string{
+	ExcPageFault: "page_fault",
+	ExcFP:        "fp_trap",
+}
+
+// String renders a ServiceID the way the paper labels services:
+// "sys_read", "Int_239", "exc_page_fault".
+func (s ServiceID) String() string {
+	switch s.Kind {
+	case KindSyscall:
+		if n, ok := sysNames[s.Num]; ok {
+			return "sys_" + n
+		}
+		return fmt.Sprintf("sys_%d", s.Num)
+	case KindInterrupt:
+		return fmt.Sprintf("Int_%d", s.Num)
+	default:
+		if n, ok := excNames[s.Num]; ok {
+			return "exc_" + n
+		}
+		return fmt.Sprintf("exc_%d", s.Num)
+	}
+}

@@ -1,0 +1,71 @@
+package isa
+
+import "testing"
+
+func TestServiceNames(t *testing.T) {
+	cases := []struct {
+		svc  ServiceID
+		want string
+	}{
+		{Sys(SysRead), "sys_read"},
+		{Sys(SysWritev), "sys_writev"},
+		{Sys(SysStat64), "sys_stat64"},
+		{Sys(SysSocketcall), "sys_socketcall"},
+		{Sys(SysIpc), "sys_ipc"},
+		{Sys(999), "sys_999"},
+		{Irq(IrqTimer), "Int_239"},
+		{Irq(IrqNIC), "Int_121"},
+		{Irq(IrqDisk), "Int_49"},
+		{Exc(ExcPageFault), "exc_page_fault"},
+		{Exc(42), "exc_42"},
+	}
+	for _, c := range cases {
+		if got := c.svc.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.svc, got, c.want)
+		}
+	}
+}
+
+func TestLinuxSyscallNumbers(t *testing.T) {
+	// Spot-check the i386 table numbers the paper's services map to.
+	nums := map[string]uint16{
+		"read": SysRead, "write": SysWrite, "open": SysOpen, "close": SysClose,
+		"gettimeofday": SysGettimeofday, "socketcall": SysSocketcall,
+		"ipc": SysIpc, "poll": SysPoll, "writev": SysWritev,
+		"stat64": SysStat64, "fcntl64": SysFcntl64, "getdents64": SysGetdents64,
+	}
+	want := map[string]uint16{
+		"read": 3, "write": 4, "open": 5, "close": 6, "gettimeofday": 78,
+		"socketcall": 102, "ipc": 117, "poll": 168, "writev": 146,
+		"stat64": 195, "fcntl64": 221, "getdents64": 220,
+	}
+	for name, n := range want {
+		if nums[name] != n {
+			t.Errorf("%s = %d, want %d (Linux 2.6 i386)", name, nums[name], n)
+		}
+	}
+}
+
+func TestServiceIDComparable(t *testing.T) {
+	m := map[ServiceID]int{}
+	m[Sys(SysRead)] = 1
+	m[Irq(IrqTimer)] = 2
+	if m[Sys(SysRead)] != 1 || m[Irq(IrqTimer)] != 2 {
+		t.Fatal("ServiceID map semantics broken")
+	}
+	if Sys(3) != Sys(SysRead) {
+		t.Fatal("equal service ids differ")
+	}
+	if Sys(49) == Irq(49) {
+		t.Fatal("syscall 49 must differ from interrupt 49")
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	if ALU.String() != "alu" || LOAD.String() != "load" || IRET.String() != "iret" {
+		t.Error("opcode names wrong")
+	}
+	if Opcode(200).String() == "" {
+		t.Error("unknown opcode should still render")
+	}
+}

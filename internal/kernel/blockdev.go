@@ -1,0 +1,112 @@
+package kernel
+
+import "fssim/internal/isa"
+
+// Disk models the block device: an elevator queue with positioning latency
+// plus per-page transfer time, raising IRQ 49 (the paper's Int_49) on
+// completion. In App-Only simulation requests complete on the next event
+// poll with negligible latency, modeling "the OS and its devices are free".
+type Disk struct {
+	k         *Kernel
+	busyUntil uint64
+	completed []*dreq
+
+	Requests uint64
+	Pages    uint64
+}
+
+type dreq struct {
+	pages []*Page
+}
+
+func newDisk(k *Kernel) *Disk { return &Disk{k: k} }
+
+// Submit queues a read of the given page frames and schedules its
+// completion. The caller emits in syscall context; waiting for the pages is
+// the caller's business (see FS.readPages).
+func (d *Disk) Submit(pages []*Page) {
+	if len(pages) == 0 {
+		return
+	}
+	k := d.k
+	e := k.e
+	e.Call(k.fn.blockSubmit)
+	e.Mix(24) // bio assembly + elevator merge
+	for _, pg := range pages {
+		e.Ops(4)
+		e.Store(pg.addr, 8)
+	}
+	e.Store(k.varRunq+32, 8) // queue head update
+	e.Ret()
+	d.Requests++
+	d.Pages += uint64(len(pages))
+
+	var latency uint64 = 1
+	if !k.appOnly() {
+		latency = k.tun.DiskSeek + k.tun.DiskPerPage*uint64(len(pages))
+	}
+	now := k.m.Now()
+	if d.busyUntil < now {
+		d.busyUntil = now
+	}
+	d.busyUntil += latency
+	req := &dreq{pages: pages}
+	k.m.Schedule(d.busyUntil, func() {
+		d.completed = append(d.completed, req)
+		k.handleIRQ(isa.IrqDisk)
+	})
+}
+
+// SubmitWrite queues a writeback of dirty pages: like Submit, but nothing
+// waits on the pages; completion merely clears the in-flight state. Called
+// from the periodic writeback path (timer context).
+func (d *Disk) SubmitWrite(pages []*Page) {
+	if len(pages) == 0 {
+		return
+	}
+	k := d.k
+	e := k.e
+	e.Call(k.fn.blockSubmit)
+	e.Mix(20)
+	for _, pg := range pages {
+		e.Ops(3)
+		e.Load(pg.addr, 8, 0)
+	}
+	e.Ret()
+	d.Requests++
+	d.Pages += uint64(len(pages))
+	var latency uint64 = 1
+	if !k.appOnly() {
+		latency = k.tun.DiskSeek + k.tun.DiskPerPage*uint64(len(pages))
+	}
+	now := k.m.Now()
+	if d.busyUntil < now {
+		d.busyUntil = now
+	}
+	d.busyUntil += latency
+	req := &dreq{} // no pages to mark: writeback completion is bookkeeping only
+	k.m.Schedule(d.busyUntil, func() {
+		d.completed = append(d.completed, req)
+		k.handleIRQ(isa.IrqDisk)
+	})
+}
+
+// irqBody is the disk completion handler: per-request bio completion, page
+// flag updates, and waiter wakeups (which may set need_resched).
+func (d *Disk) irqBody() {
+	e := d.k.e
+	e.Call(d.k.fn.blockDone)
+	e.Mix(18)
+	for _, req := range d.completed {
+		for _, pg := range req.pages {
+			e.Ops(5)
+			e.Store(pg.addr+8, 8) // PG_uptodate flag
+			pg.uptodate = true
+			pg.busy = false
+			pg.wq.WakeAll()
+		}
+		e.Mix(12)
+	}
+	d.completed = d.completed[:0]
+	e.Ret()
+}

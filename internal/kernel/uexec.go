@@ -1,0 +1,87 @@
+package kernel
+
+import "fssim/internal/machine"
+
+// UExec is the user-mode instruction emitter guest programs use. It mirrors
+// machine.Emitter but routes memory operations through the process's
+// demand-paging check, so first touches of heap pages take page faults like
+// real applications do.
+type UExec struct {
+	p *Proc
+	e machine.Emitter
+}
+
+// Ops emits n independent integer operations.
+func (u UExec) Ops(n int) { u.e.Ops(n) }
+
+// Chain emits n serially dependent integer operations.
+func (u UExec) Chain(n int) { u.e.Chain(n) }
+
+// Mix emits n instructions with a typical integer-code shape.
+func (u UExec) Mix(n int) { u.e.Mix(n) }
+
+// FOps emits n floating-point operations.
+func (u UExec) FOps(n int) { u.e.FOps(n) }
+
+// Div emits an integer divide.
+func (u UExec) Div() { u.e.Div() }
+
+// FDiv emits a floating-point divide.
+func (u UExec) FDiv() { u.e.FDiv() }
+
+// Load emits a load, faulting in the page if needed.
+func (u UExec) Load(addr uint64, size int, dep uint8) {
+	u.p.touch(addr, size)
+	u.e.Load(addr, size, dep)
+}
+
+// Store emits a store, faulting in the page if needed.
+func (u UExec) Store(addr uint64, size int) {
+	u.p.touch(addr, size)
+	u.e.Store(addr, size)
+}
+
+// Branch emits a conditional branch.
+func (u UExec) Branch(taken bool, target uint64) { u.e.Branch(taken, target) }
+
+// Call transfers control to the routine at pc.
+func (u UExec) Call(pc uint64) { u.e.Call(pc) }
+
+// Ret returns from the most recent Call.
+func (u UExec) Ret() { u.e.Ret() }
+
+// Loop runs body iters times with a backward branch per iteration.
+func (u UExec) Loop(iters int, body func(i int)) { u.e.Loop(iters, body) }
+
+// CopyLines copies n cache lines, faulting pages as needed.
+func (u UExec) CopyLines(dst, src uint64, n int) {
+	u.p.touch(src, n*64)
+	u.p.touch(dst, n*64)
+	u.e.CopyLines(dst, src, n)
+}
+
+// ScanLines sweeps n lines read-only.
+func (u UExec) ScanLines(addr uint64, n int, stride uint64) {
+	if stride == 0 {
+		stride = 64
+	}
+	u.p.touch(addr, int(stride)*n)
+	u.e.ScanLines(addr, n, stride)
+}
+
+// WriteLines sweeps n lines write-only.
+func (u UExec) WriteLines(addr uint64, n int, stride uint64) {
+	if stride == 0 {
+		stride = 64
+	}
+	u.p.touch(addr, int(stride)*n)
+	u.e.WriteLines(addr, n, stride)
+}
+
+// ChaseList performs dependent pointer chasing through nodes.
+func (u UExec) ChaseList(nodes []uint64) {
+	for _, a := range nodes {
+		u.p.touch(a, 8)
+	}
+	u.e.ChaseList(nodes)
+}

@@ -1,0 +1,98 @@
+package machine
+
+import "container/heap"
+
+// event is a scheduled device callback.
+type event struct {
+	at  uint64
+	seq uint64 // tie-break for determinism
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+var eventSeq uint64
+
+// Schedule runs fn when the global cycle counter reaches cycle `at`
+// (immediately at the next instruction boundary if `at` is already past).
+// Device models use this for disk completions, packet arrivals and timer
+// ticks; callbacks typically raise an interrupt via the kernel.
+func (m *Machine) Schedule(at uint64, fn func()) {
+	eventSeq++
+	heap.Push(&m.events, event{at: at, seq: eventSeq, fn: fn})
+	if at < m.next {
+		m.next = at
+	}
+}
+
+// ScheduleAfter runs fn delay cycles from now.
+func (m *Machine) ScheduleAfter(delay uint64, fn func()) {
+	m.Schedule(m.core.Now()+delay, fn)
+}
+
+// pollEvents fires all due events (unless a delivery is already on the
+// stack). Events fire even while an interval is being fast-forwarded: the
+// functional side of device completions — pages becoming uptodate, packets
+// arriving, threads waking — must proceed for emulated services exactly as
+// for detailed ones; only their handler instructions bypass the timing
+// models.
+func (m *Machine) pollEvents() {
+	if m.delivering {
+		return
+	}
+	m.delivering = true
+	for len(m.events) > 0 && m.events[0].at <= m.core.Now() {
+		e := heap.Pop(&m.events).(event)
+		e.fn()
+	}
+	if len(m.events) > 0 {
+		m.next = m.events[0].at
+	} else {
+		m.next = ^uint64(0)
+	}
+	m.delivering = false
+}
+
+// DeliverIRQ invokes the kernel's registered interrupt entry for vector.
+// Device event callbacks use this; the kernel entry performs KEnter/KExit
+// and emits the handler's instructions.
+func (m *Machine) DeliverIRQ(vector uint16) {
+	if m.irq != nil {
+		m.irq(vector)
+	}
+}
+
+// PendingEvents reports the number of scheduled events.
+func (m *Machine) PendingEvents() int { return len(m.events) }
+
+// AdvanceIdle is called by the scheduler when no context is runnable: it
+// skips the clock forward to the next pending event and fires it. It reports
+// false if there is nothing to wait for (which would be a workload hang).
+func (m *Machine) AdvanceIdle() bool {
+	if len(m.events) == 0 {
+		return false
+	}
+	at := m.events[0].at
+	if at > m.core.Now() {
+		m.core.SkipTo(at)
+	}
+	m.pollEvents()
+	return true
+}

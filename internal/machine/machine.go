@@ -1,0 +1,624 @@
+// Package machine ties the simulated system together: it owns the processor
+// timing core and memory hierarchy, the device event queue, the user/kernel
+// mode bookkeeping that delimits OS service intervals (paper §3), and the
+// dynamic switch between detailed simulation and fast emulation that the
+// acceleration scheme drives (paper §4).
+//
+// The machine is execution-driven: kernel and guest code emit dynamic
+// instructions through an Emitter; the machine attributes them to the
+// application or to the current OS service interval, feeds them to the active
+// backend, and delivers device interrupts at instruction boundaries.
+package machine
+
+import (
+	"math/rand"
+
+	"fssim/internal/cache"
+	"fssim/internal/cpu"
+	"fssim/internal/isa"
+	"fssim/internal/memsim"
+	"fssim/internal/memsys"
+)
+
+// SimMode selects what the simulation covers.
+type SimMode int
+
+const (
+	// FullSystem simulates application and OS in the detailed timing model.
+	FullSystem SimMode = iota
+	// AppOnly simulates only application instructions; OS services execute
+	// functionally but cost nothing (the paper's "App Only" baseline).
+	AppOnly
+	// Accelerated runs the paper's scheme: application code is always
+	// detailed; OS services are detailed during learning periods and
+	// fast-forwarded in emulation mode during prediction periods, with the
+	// attached IntervalSink deciding and predicting.
+	Accelerated
+)
+
+func (m SimMode) String() string {
+	switch m {
+	case FullSystem:
+		return "App+OS"
+	case AppOnly:
+		return "App Only"
+	default:
+		return "App+OS Pred"
+	}
+}
+
+// CoreKind selects the processor timing model (Table 1's mode axis).
+type CoreKind int
+
+const (
+	CoreOOO CoreKind = iota
+	CoreInOrder
+)
+
+// Config assembles a machine.
+type Config struct {
+	Mode       SimMode
+	Core       CoreKind
+	WithCaches bool // false = ideal memory (the "nocache" Table 1 modes)
+	CPU        cpu.Config
+	Mem        memsys.Config
+	Seed       int64
+
+	// Ablation switches for the acceleration scheme's side-effect models
+	// (both default to enabled; see DESIGN.md §5).
+	NoPollution    bool // disable cache pollution injection (paper §4.5)
+	NoBusInjection bool // disable predicted bus-occupancy injection
+}
+
+// DefaultConfig returns the paper's §5.1 platform in full-system mode.
+func DefaultConfig() Config {
+	return Config{
+		Mode:       FullSystem,
+		Core:       CoreOOO,
+		WithCaches: true,
+		CPU:        cpu.DefaultConfig(),
+		Mem:        memsys.DefaultConfig(),
+		Seed:       1,
+	}
+}
+
+// Signature carries the observables of one OS service interval that are
+// obtainable in fast emulation mode — without any timing model. The paper
+// builds its signature from Insts alone and names the instruction mix as
+// future work (§3); the Loads/Stores/Branches counters enable that extended
+// signature (core.Params.MixSignature).
+type Signature struct {
+	Insts    uint64
+	Loads    uint64
+	Stores   uint64
+	Branches uint64
+}
+
+// Measurement captures the performance characteristics of one OS service
+// interval obtained by detailed simulation — the quantities the PLT records
+// (paper §4.3): instruction count, cycles, and per-level cache activity.
+type Measurement struct {
+	Insts  uint64
+	Cycles uint64
+	L1I    cache.Stats
+	L1D    cache.Stats
+	L2     cache.Stats
+}
+
+// IPC returns instructions per cycle for the interval.
+func (ms Measurement) IPC() float64 {
+	if ms.Cycles == 0 {
+		return 0
+	}
+	return float64(ms.Insts) / float64(ms.Cycles)
+}
+
+// Prediction is what the sink returns for an emulated interval.
+type Prediction struct {
+	Cycles                   uint64
+	L1IMisses, L1DMisses     uint64
+	L2Misses                 uint64
+	L1IAccesses, L1DAccesses uint64
+	L2Accesses               uint64
+	L2Writebacks             uint64
+}
+
+// IntervalSink is the acceleration engine's hook into the machine.
+// OnServiceStart is called at each user→kernel transition and decides the
+// simulation mode for the interval; for emulated intervals it also supplies
+// the service's estimated CPI, which the machine uses to advance a virtual
+// clock while fast-forwarding so that device events scheduled inside the
+// interval carry approximately correct timestamps. OnServiceEnd is called at
+// the matching kernel→user transition with either the detailed measurement
+// (learning) or the instruction-count signature (prediction), and must
+// return a Prediction in the latter case.
+type IntervalSink interface {
+	OnServiceStart(svc isa.ServiceID) (detailed bool, estCPI float64)
+	OnServiceEnd(svc isa.ServiceID, sig Signature, meas *Measurement) *Prediction
+}
+
+// IntervalRecord is the characterization view of one completed interval,
+// delivered to an optional observer (Figs 3–6 are built from these).
+type IntervalRecord struct {
+	Service   isa.ServiceID
+	Insts     uint64
+	Sig       Signature
+	Cycles    uint64
+	Emulated  bool
+	Predicted *Prediction // non-nil when Emulated
+	Meas      *Measurement
+}
+
+// Machine is one simulated system.
+type Machine struct {
+	cfg  Config
+	core cpu.Core
+	mem  *memsys.Hierarchy // nil when WithCaches is false
+	rng  *rand.Rand
+	Lay  *memsim.Layout
+
+	events eventQueue
+	next   uint64 // cycle of earliest pending event (cache of heap head)
+
+	depth      int // current context's kernel nesting depth
+	inInterval bool
+	curSvc     isa.ServiceID
+	curSig     Signature // emulation-observable counters of the open interval
+	emulating  bool
+	delivering bool
+
+	sink     IntervalSink
+	observer func(IntervalRecord)
+	irq      func(vector uint16) // kernel's interrupt entry
+
+	startInsts  uint64
+	startCycles uint64
+	startMem    memsys.Snapshot
+
+	// Virtual-clock state for emulated intervals: estimated cycles per
+	// instruction and the fractional accumulator applied in chunks.
+	virtCPI  float64
+	virtFrac float64
+
+	// Per-service phantom working-set bases for pollution injection: each
+	// OS service's fast-forwarded cache footprint is replayed at a stable
+	// address range, so repeated invocations refresh rather than re-displace.
+	phantoms    map[isa.ServiceID]uint64
+	phantomNext uint64
+
+	// Measurement warm-up (paper §5.2: the first 300 HTTP requests / 4096
+	// socket writes are skipped before measuring). A workload that supports
+	// warm-up declares it at setup and calls Warm() at the skip boundary;
+	// the machine then snapshots a statistics baseline so Stats() reports
+	// the measured period only.
+	warmDeclared bool
+	warmed       bool
+	warmCb       func()
+	base         *Stats
+
+	cursor Cursor
+
+	// Aggregate statistics.
+	totalInsts uint64
+	userInsts  uint64
+	osInsts    uint64
+	emuInsts   uint64 // current interval's emulated instruction count
+	emuTotal   uint64 // total instructions fast-forwarded in emulation mode
+	predCycles uint64 // total cycles added by prediction
+	pred       Prediction
+	intervals  uint64
+	emulated   uint64
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	m := &Machine{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		Lay: memsim.NewLayout(),
+	}
+	if cfg.WithCaches {
+		m.mem = memsys.New(cfg.Mem)
+	}
+	switch cfg.Core {
+	case CoreInOrder:
+		m.core = cpu.NewInOrder(cfg.CPU, m.mem)
+	default:
+		m.core = cpu.NewOOO(cfg.CPU, m.mem)
+	}
+	m.next = ^uint64(0)
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Mode returns the simulation mode.
+func (m *Machine) Mode() SimMode { return m.cfg.Mode }
+
+// RNG returns the machine's deterministic random source.
+func (m *Machine) RNG() *rand.Rand { return m.rng }
+
+// Mem returns the memory hierarchy (nil in nocache configurations).
+func (m *Machine) Mem() *memsys.Hierarchy { return m.mem }
+
+// Core returns the timing core.
+func (m *Machine) Core() cpu.Core { return m.core }
+
+// SetSink attaches the acceleration engine (used with Mode == Accelerated).
+func (m *Machine) SetSink(s IntervalSink) { m.sink = s }
+
+// SetObserver attaches a characterization observer receiving every completed
+// OS service interval.
+func (m *Machine) SetObserver(f func(IntervalRecord)) { m.observer = f }
+
+// SetIRQHandler registers the kernel's interrupt entry point.
+func (m *Machine) SetIRQHandler(f func(vector uint16)) { m.irq = f }
+
+// Now returns the global cycle counter (committed time plus predicted
+// fast-forward time already applied).
+func (m *Machine) Now() uint64 { return m.core.Now() }
+
+// InKernel reports whether the machine is in privileged mode.
+func (m *Machine) InKernel() bool { return m.depth > 0 }
+
+// Depth returns the current kernel nesting depth.
+func (m *Machine) Depth() int { return m.depth }
+
+// Emulating reports whether the current interval is being fast-forwarded.
+func (m *Machine) Emulating() bool { return m.emulating }
+
+// skipTiming reports whether the current instruction bypasses the timing
+// models: fast-forwarded OS intervals, and all kernel-mode work in App-Only
+// simulation.
+func (m *Machine) skipTiming() bool {
+	if m.emulating && m.inInterval {
+		return true
+	}
+	return m.cfg.Mode == AppOnly && m.depth > 0
+}
+
+// Exec runs one dynamic instruction through the active backend. Kernel and
+// guest code normally call this through an Emitter, which manages the PC
+// cursor.
+func (m *Machine) Exec(in *isa.Inst) {
+	m.totalInsts++
+	owner := cache.OwnerApp
+	if m.depth > 0 {
+		m.osInsts++
+		owner = cache.OwnerOS
+	} else {
+		m.userInsts++
+	}
+	if m.inInterval {
+		m.curSig.Insts++
+		switch in.Op {
+		case isa.LOAD:
+			m.curSig.Loads++
+		case isa.STORE:
+			m.curSig.Stores++
+		case isa.BRANCH:
+			m.curSig.Branches++
+		}
+	}
+	if m.skipTiming() {
+		if m.emulating {
+			m.emuInsts++
+			m.emuTotal++
+			// Advance the virtual clock so events scheduled inside the
+			// fast-forwarded interval see approximately correct time. The
+			// estimate is deliberately conservative (90% of the service's
+			// mean CPI): the cluster prediction tops up the remainder at
+			// interval close, whereas an overshoot could not be taken back.
+			m.virtFrac += m.virtCPI
+			if m.virtFrac >= 512 {
+				chunk := uint64(m.virtFrac)
+				m.virtFrac -= float64(chunk)
+				m.core.SkipTo(m.core.Now() + chunk)
+			}
+		}
+	} else {
+		m.core.Exec(in, owner)
+	}
+	if m.core.Now() >= m.next {
+		m.pollEvents()
+	}
+}
+
+// KEnter records entry into kernel mode for service svc. The first-level
+// entry (depth 0→1) opens an OS service interval; nested entries (interrupts
+// during a service, services invoked by services) fold into the initial one,
+// per the paper's interval definition.
+func (m *Machine) KEnter(svc isa.ServiceID) {
+	m.depth++
+	if m.depth == 1 && !m.inInterval {
+		m.openInterval(svc)
+	}
+}
+
+// KExit records a return toward user mode. The last exit (depth 1→0) closes
+// the current interval.
+func (m *Machine) KExit() {
+	if m.depth == 0 {
+		panic("machine: KExit without matching KEnter")
+	}
+	m.depth--
+	if m.depth == 0 && m.inInterval {
+		m.closeInterval()
+	}
+}
+
+// SetDepth reconciles the machine's mode with a newly scheduled context's
+// saved kernel depth. Context switches normally occur inside the kernel, so
+// both the old and new depths are positive and the open interval continues
+// across the switch (the paper's "extension of the initial OS service"). Two
+// edge transitions are handled explicitly: dispatching a user-mode context
+// while the kernel interval is open closes it, and dispatching a
+// kernel-blocked context from the idle loop re-enters privileged mode,
+// opening a fresh interval typed by the service the context was executing.
+func (m *Machine) SetDepth(d int, svc isa.ServiceID) {
+	if m.depth > 0 && d == 0 && m.inInterval {
+		m.closeInterval()
+	}
+	if m.depth == 0 && d > 0 && !m.inInterval {
+		m.openInterval(svc)
+	}
+	m.depth = d
+}
+
+func (m *Machine) openInterval(svc isa.ServiceID) {
+	m.inInterval = true
+	m.curSvc = svc
+	m.intervals++
+	m.startInsts = m.totalInsts
+	m.startCycles = m.core.Now()
+	if m.mem != nil {
+		m.startMem = m.mem.Stats()
+	}
+	m.emuInsts = 0
+	m.emulating = false
+	m.virtFrac = 0
+	m.curSig = Signature{}
+	if m.cfg.Mode == Accelerated && m.sink != nil {
+		detailed, cpi := m.sink.OnServiceStart(svc)
+		m.emulating = !detailed
+		if m.emulating {
+			m.emulated++
+			if cpi <= 0 {
+				cpi = 1
+			}
+			m.virtCPI = cpi * 0.9
+		}
+	}
+}
+
+func (m *Machine) closeInterval() {
+	m.inInterval = false
+	rec := IntervalRecord{Service: m.curSvc, Emulated: m.emulating, Sig: m.curSig}
+	if m.emulating {
+		insts := m.emuInsts
+		rec.Insts = insts
+		var pred *Prediction
+		if m.sink != nil {
+			pred = m.sink.OnServiceEnd(m.curSvc, m.curSig, nil)
+		}
+		if pred == nil {
+			pred = &Prediction{Cycles: insts} // degenerate fallback: IPC 1
+		}
+		// The cluster's recorded cycles include any I/O or idle wait the
+		// service experienced. Simulated time may already have advanced
+		// during the fast-forwarded interval (device waits execute at real
+		// event times even in emulation), so only the remainder of the
+		// predicted duration is applied.
+		elapsed := m.core.Now() - m.startCycles
+		add := uint64(0)
+		if pred.Cycles > elapsed {
+			add = pred.Cycles - elapsed
+		}
+		m.core.SkipTo(m.core.Now() + add)
+		m.predCycles += add
+		m.pred.Cycles += pred.Cycles
+		m.pred.L1IMisses += pred.L1IMisses
+		m.pred.L1DMisses += pred.L1DMisses
+		m.pred.L2Misses += pred.L2Misses
+		m.pred.L1IAccesses += pred.L1IAccesses
+		m.pred.L1DAccesses += pred.L1DAccesses
+		m.pred.L2Accesses += pred.L2Accesses
+		if m.mem != nil {
+			if !m.cfg.NoPollution {
+				m.mem.TouchPhantoms(m.phantomBase(m.curSvc),
+					int(pred.L1IMisses), int(pred.L1DMisses), int(pred.L2Misses))
+			}
+			if !m.cfg.NoBusInjection {
+				// The service's DRAM traffic also occupied the memory bus;
+				// replay that occupancy so subsequent detailed accesses see
+				// the contention the skipped service would have caused.
+				m.mem.InjectBusTraffic(int(pred.L2Misses+pred.L2Writebacks), m.startCycles)
+			}
+		}
+		rec.Cycles = pred.Cycles
+		rec.Predicted = pred
+	} else {
+		meas := m.measureInterval()
+		rec.Insts = meas.Insts
+		rec.Cycles = meas.Cycles
+		rec.Meas = &meas
+		if m.cfg.Mode == Accelerated && m.sink != nil {
+			m.sink.OnServiceEnd(m.curSvc, m.curSig, &meas)
+		}
+	}
+	m.emulating = false
+	if m.observer != nil {
+		m.observer(rec)
+	}
+	// Events that came due while the interval was fast-forwarded fire now.
+	if m.core.Now() >= m.next {
+		m.pollEvents()
+	}
+}
+
+// phantomBase returns the service's stable phantom working-set base,
+// reserving generously-spaced address ranges far above any allocated region.
+func (m *Machine) phantomBase(svc isa.ServiceID) uint64 {
+	if m.phantoms == nil {
+		m.phantoms = make(map[isa.ServiceID]uint64)
+		m.phantomNext = 0xF000_0000_0000_0000
+	}
+	base, ok := m.phantoms[svc]
+	if !ok {
+		base = m.phantomNext
+		m.phantomNext += 1 << 32 // room for any footprint
+		m.phantoms[svc] = base
+	}
+	return base
+}
+
+func (m *Machine) measureInterval() Measurement {
+	meas := Measurement{
+		Insts:  m.totalInsts - m.startInsts,
+		Cycles: m.core.Now() - m.startCycles,
+	}
+	if m.mem != nil {
+		d := m.mem.Stats().Sub(m.startMem)
+		meas.L1I, meas.L1D, meas.L2 = d.L1I, d.L1D, d.L2
+	}
+	return meas
+}
+
+// Stats is the machine-level aggregate view used by the experiment harness.
+type Stats struct {
+	Cycles     uint64
+	Insts      uint64
+	UserInsts  uint64
+	OSInsts    uint64
+	Intervals  uint64
+	Emulated   uint64
+	EmuInsts   uint64 // instructions fast-forwarded in emulation mode
+	PredCycles uint64
+	Pred       Prediction // accumulated predicted cache activity
+	Mem        memsys.Snapshot
+	DRAM       uint64
+	BrLookups  uint64
+	BrMispreds uint64
+}
+
+// IPC returns overall instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// Coverage returns the fraction of OS service invocations that were
+// fast-forwarded (the paper's prediction coverage).
+func (s Stats) Coverage() float64 {
+	if s.Intervals == 0 {
+		return 0
+	}
+	return float64(s.Emulated) / float64(s.Intervals)
+}
+
+// DeclareWarmup marks that this workload will call Warm() at its skip
+// boundary (called during setup).
+func (m *Machine) DeclareWarmup() { m.warmDeclared = true }
+
+// HasWarmup reports whether the workload declared a warm-up phase.
+func (m *Machine) HasWarmup() bool { return m.warmDeclared }
+
+// SetWarmCallback registers the hook invoked once at the warm point.
+func (m *Machine) SetWarmCallback(fn func()) { m.warmCb = fn }
+
+// Warm marks the end of the skipped warm-up period: the statistics baseline
+// is captured and the registered callback (typically arming the
+// acceleration engine) fires. Subsequent Stats() calls report only the
+// measured period. Idempotent.
+func (m *Machine) Warm() {
+	if m.warmed {
+		return
+	}
+	m.warmed = true
+	s := m.statsRaw()
+	m.base = &s
+	if m.warmCb != nil {
+		m.warmCb()
+	}
+}
+
+// Warmed reports whether the warm point has passed.
+func (m *Machine) Warmed() bool { return m.warmed }
+
+// Stats returns the aggregate statistics for the measured period (the whole
+// run when no warm-up was declared or reached).
+func (m *Machine) Stats() Stats {
+	st := m.statsRaw()
+	if m.base != nil {
+		st = st.sub(*m.base)
+	}
+	return st
+}
+
+func (m *Machine) statsRaw() Stats {
+	st := Stats{
+		Cycles:     m.core.Now(),
+		Insts:      m.totalInsts,
+		UserInsts:  m.userInsts,
+		OSInsts:    m.osInsts,
+		Intervals:  m.intervals,
+		Emulated:   m.emulated,
+		EmuInsts:   m.emuTotal,
+		PredCycles: m.predCycles,
+		Pred:       m.pred,
+	}
+	if m.mem != nil {
+		st.Mem = m.mem.Stats()
+		st.DRAM = m.mem.DRAMAccesses()
+	}
+	st.BrLookups, st.BrMispreds = m.core.Predictor().Stats()
+	return st
+}
+
+// sub returns s minus a baseline, component-wise.
+func (s Stats) sub(b Stats) Stats {
+	return Stats{
+		Cycles:     s.Cycles - b.Cycles,
+		Insts:      s.Insts - b.Insts,
+		UserInsts:  s.UserInsts - b.UserInsts,
+		OSInsts:    s.OSInsts - b.OSInsts,
+		Intervals:  s.Intervals - b.Intervals,
+		Emulated:   s.Emulated - b.Emulated,
+		EmuInsts:   s.EmuInsts - b.EmuInsts,
+		PredCycles: s.PredCycles - b.PredCycles,
+		Pred: Prediction{
+			Cycles:       s.Pred.Cycles - b.Pred.Cycles,
+			L1IMisses:    s.Pred.L1IMisses - b.Pred.L1IMisses,
+			L1DMisses:    s.Pred.L1DMisses - b.Pred.L1DMisses,
+			L2Misses:     s.Pred.L2Misses - b.Pred.L2Misses,
+			L1IAccesses:  s.Pred.L1IAccesses - b.Pred.L1IAccesses,
+			L1DAccesses:  s.Pred.L1DAccesses - b.Pred.L1DAccesses,
+			L2Accesses:   s.Pred.L2Accesses - b.Pred.L2Accesses,
+			L2Writebacks: s.Pred.L2Writebacks - b.Pred.L2Writebacks,
+		},
+		Mem:        s.Mem.Sub(b.Mem),
+		DRAM:       s.DRAM - b.DRAM,
+		BrLookups:  s.BrLookups - b.BrLookups,
+		BrMispreds: s.BrMispreds - b.BrMispreds,
+	}
+}
+
+// MissRates returns effective (simulated + predicted) L1I/L1D/L2 miss rates,
+// combining detailed-period measurements with prediction-period estimates —
+// the quantities Fig 9 compares.
+func (s Stats) MissRates() (l1i, l1d, l2 float64) {
+	rate := func(miss, acc uint64, pm, pa uint64) float64 {
+		a := acc + pa
+		if a == 0 {
+			return 0
+		}
+		return float64(miss+pm) / float64(a)
+	}
+	l1i = rate(s.Mem.L1I.Misses, s.Mem.L1I.Accesses, s.Pred.L1IMisses, s.Pred.L1IAccesses)
+	l1d = rate(s.Mem.L1D.Misses, s.Mem.L1D.Accesses, s.Pred.L1DMisses, s.Pred.L1DAccesses)
+	l2 = rate(s.Mem.L2.Misses, s.Mem.L2.Accesses, s.Pred.L2Misses, s.Pred.L2Accesses)
+	return
+}

@@ -1,0 +1,90 @@
+// Package memsim models the simulated machine's address space. The simulator
+// is timing-oriented: no data bytes are stored, but every kernel and guest
+// data structure occupies real, stable simulated addresses so that the cache
+// models see genuine locality, reuse, and OS/application interference.
+package memsim
+
+import "fmt"
+
+// Address-space layout of the simulated machine. User regions follow the
+// classic i386 Linux layout; kernel regions live above 3GB.
+const (
+	UserTextBase  = 0x0804_8000
+	UserHeapBase  = 0x0900_0000
+	UserStackBase = 0x8000_0000
+	UserStackSize = 0x3000_0000
+	KernelBase    = 0xc000_0000
+	KernelText    = 0xc010_0000
+	KernelHeap    = 0xc800_0000
+	PageCacheBase = 0xd000_0000
+	PageSize      = 4096
+)
+
+// Arena hands out consecutive simulated addresses from a region. It is the
+// allocator behind kernel slabs, page-cache pages, and guest heaps.
+type Arena struct {
+	name  string
+	base  uint64
+	limit uint64
+	next  uint64
+}
+
+// NewArena returns an arena over [base, base+size).
+func NewArena(name string, base, size uint64) *Arena {
+	return &Arena{name: name, base: base, limit: base + size, next: base}
+}
+
+// Alloc reserves n bytes and returns the base address of the block.
+// It panics if the region is exhausted — simulated layouts are sized
+// generously, so exhaustion indicates a workload-configuration bug.
+func (a *Arena) Alloc(n uint64) uint64 {
+	if n == 0 {
+		n = 1
+	}
+	p := a.next
+	if p+n > a.limit {
+		panic(fmt.Sprintf("memsim: arena %q exhausted (%d bytes requested, %d free)",
+			a.name, n, a.limit-p))
+	}
+	a.next = p + n
+	return p
+}
+
+// AllocAligned reserves n bytes aligned to align (a power of two).
+func (a *Arena) AllocAligned(n, align uint64) uint64 {
+	if align == 0 {
+		align = 1
+	}
+	a.next = (a.next + align - 1) &^ (align - 1)
+	return a.Alloc(n)
+}
+
+// AllocPage reserves one page-aligned page.
+func (a *Arena) AllocPage() uint64 { return a.AllocAligned(PageSize, PageSize) }
+
+// Used returns the number of bytes allocated so far.
+func (a *Arena) Used() uint64 { return a.next - a.base }
+
+// Base returns the arena's base address.
+func (a *Arena) Base() uint64 { return a.base }
+
+// Layout groups the arenas of one simulated machine.
+type Layout struct {
+	KernelHeap *Arena // slabs: dentries, inodes, sk_buffs, task structs, ...
+	PageCache  *Arena // 4KB page frames backing file data
+	UserHeap   *Arena // guest application heaps
+	UserStack  *Arena // guest thread stacks (allocated downward region)
+}
+
+// NewLayout returns a fresh address-space layout.
+func NewLayout() *Layout {
+	return &Layout{
+		KernelHeap: NewArena("kernel-heap", KernelHeap, 0x0800_0000),
+		PageCache:  NewArena("page-cache", PageCacheBase, 0x2000_0000),
+		UserHeap:   NewArena("user-heap", UserHeapBase, 0x4000_0000),
+		UserStack:  NewArena("user-stack", UserStackBase, UserStackSize),
+	}
+}
+
+// PageOf returns the page base address containing addr.
+func PageOf(addr uint64) uint64 { return addr &^ (PageSize - 1) }

@@ -1,0 +1,97 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaSequential(t *testing.T) {
+	a := NewArena("t", 0x1000, 0x1000)
+	p1 := a.Alloc(100)
+	p2 := a.Alloc(100)
+	if p1 != 0x1000 || p2 != 0x1064 {
+		t.Fatalf("allocs at %#x, %#x", p1, p2)
+	}
+	if a.Used() != 200 {
+		t.Fatalf("used = %d", a.Used())
+	}
+}
+
+func TestArenaAlignment(t *testing.T) {
+	a := NewArena("t", 0x1001, 0x10000)
+	p := a.AllocAligned(64, 64)
+	if p%64 != 0 {
+		t.Fatalf("aligned alloc at %#x", p)
+	}
+	pg := a.AllocPage()
+	if pg%PageSize != 0 {
+		t.Fatalf("page alloc at %#x", pg)
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	a := NewArena("t", 0, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted arena should panic")
+		}
+	}()
+	a.Alloc(65)
+}
+
+// TestArenaNoOverlap property-checks that allocations never overlap and stay
+// in bounds.
+func TestArenaNoOverlap(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := NewArena("t", 0x4000, 1<<20)
+		var prevEnd uint64 = 0x4000
+		total := uint64(0)
+		for _, s := range sizes {
+			n := uint64(s%2048) + 1
+			if total+n+64 > 1<<20 {
+				break
+			}
+			p := a.AllocAligned(n, 8)
+			if p < prevEnd {
+				return false
+			}
+			prevEnd = p + n
+			total += n + 8
+		}
+		return prevEnd <= 0x4000+1<<20
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutDisjoint(t *testing.T) {
+	l := NewLayout()
+	type region struct {
+		name string
+		a    *Arena
+	}
+	regions := []region{
+		{"kernel-heap", l.KernelHeap}, {"page-cache", l.PageCache},
+		{"user-heap", l.UserHeap}, {"user-stack", l.UserStack},
+	}
+	// Allocate from each and verify no cross-region interleaving is possible
+	// by bounds: base addresses must be distinct and ordered ranges disjoint.
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i].a, regions[j].a
+			if a.Base() == b.Base() {
+				t.Errorf("%s and %s share a base", regions[i].name, regions[j].name)
+			}
+		}
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0x1234) != 0x1000 {
+		t.Errorf("PageOf(0x1234) = %#x", PageOf(0x1234))
+	}
+	if PageOf(0x1000) != 0x1000 {
+		t.Errorf("PageOf(0x1000) = %#x", PageOf(0x1000))
+	}
+}

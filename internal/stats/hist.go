@@ -1,0 +1,62 @@
+package stats
+
+import "sort"
+
+// Hist2D is a sparse two-dimensional histogram over fixed-size bins. The
+// characterization study uses it to build the paper's Fig 5 bubble plots
+// (instruction-count bins x cycle bins, bubble area = occurrences).
+type Hist2D struct {
+	XBin, YBin float64 // bin widths; must be > 0
+	cells      map[[2]int64]int64
+}
+
+// NewHist2D returns a histogram with the given bin widths.
+func NewHist2D(xbin, ybin float64) *Hist2D {
+	return &Hist2D{XBin: xbin, YBin: ybin, cells: make(map[[2]int64]int64)}
+}
+
+// Add records one (x, y) observation.
+func (h *Hist2D) Add(x, y float64) {
+	key := [2]int64{int64(x / h.XBin), int64(y / h.YBin)}
+	h.cells[key]++
+}
+
+// Cell is one non-empty histogram bin: the bin's center coordinates and the
+// number of observations that fell into it.
+type Cell struct {
+	X, Y  float64
+	Count int64
+}
+
+// Cells returns all non-empty bins ordered by (X, Y).
+func (h *Hist2D) Cells() []Cell {
+	out := make([]Cell, 0, len(h.cells))
+	for k, c := range h.cells {
+		out = append(out, Cell{
+			X:     (float64(k[0]) + 0.5) * h.XBin,
+			Y:     (float64(k[1]) + 0.5) * h.YBin,
+			Count: c,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+// Total returns the number of observations recorded.
+func (h *Hist2D) Total() int64 {
+	var t int64
+	for _, c := range h.cells {
+		t += c
+	}
+	return t
+}
+
+// NonEmpty returns the number of occupied bins — a proxy for the number of
+// distinct behavior points (the paper's Fig 5 observation is that this stays
+// small even for thousands of invocations).
+func (h *Hist2D) NonEmpty() int { return len(h.cells) }

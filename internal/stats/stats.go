@@ -1,0 +1,182 @@
+// Package stats provides the statistical machinery the acceleration scheme is
+// built on: running mean/variance accumulators and coefficient of variation
+// (used to evaluate cluster uniformity, paper §4.2/Fig 6), the binomial
+// learning-window solver (paper §4.3/Fig 7), and the one-sided Student-t
+// bound used by the Statistical re-learning strategy (paper §4.4, Eq 4–8).
+package stats
+
+import "math"
+
+// Welford accumulates a running mean and variance using Welford's online
+// algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// CV returns the coefficient of variation: standard deviation divided by the
+// mean. It is the cluster-uniformity metric of paper §4.2. A zero mean yields
+// CV 0 to keep aggregate averages well defined.
+func (w *Welford) CV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return math.Abs(w.Std() / w.mean)
+}
+
+// Merge combines another accumulator into w (Chan et al. parallel update).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// AtLeastOnce returns the probability that an event with per-trial probability
+// p occurs at least once in n independent trials: 1 - (1-p)^n. This is the
+// closed form of paper Eq (2)/(3) summed over k >= 1.
+func AtLeastOnce(p float64, n int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-p, float64(n))
+}
+
+// Binomial returns the binomial probability P(X = k) for n trials with
+// per-trial probability p (paper Eq 1). It works in log space to stay finite
+// for the window sizes the paper sweeps.
+func Binomial(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := lchoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lg)
+}
+
+func lchoose(n, k int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// LearningWindow returns the smallest learning window N such that a behavior
+// cluster with probability of occurrence >= pmin appears at least once within
+// the window with confidence >= doc (paper §4.3, Eq 3; Fig 7 plots this
+// function). With pmin = 0.03 it yields ~99 at 95% confidence and ~152 at 99%.
+func LearningWindow(pmin, doc float64) int {
+	if pmin <= 0 || pmin >= 1 || doc <= 0 {
+		return 1
+	}
+	if doc >= 1 {
+		return math.MaxInt32
+	}
+	n := math.Log(1-doc) / math.Log(1-pmin)
+	return int(math.Ceil(n))
+}
+
+// tOneSided95 tabulates the one-sided 95% Student-t critical value
+// t_(df, 0.05) for small degrees of freedom; TOneSided95 interpolates and
+// falls back to the asymptotic normal value 1.645 for large df. These are the
+// values paper Eq (8) plugs in to upper-bound an outlier cluster's true
+// probability of occurrence.
+var tOneSided95 = []float64{
+	// df = 1 .. 30
+	6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+	1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+	1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+}
+
+// TOneSided95 returns the one-sided 95% Student-t critical value for the
+// given degrees of freedom.
+func TOneSided95(df int) float64 {
+	switch {
+	case df <= 0:
+		return math.Inf(1)
+	case df <= len(tOneSided95):
+		return tOneSided95[df-1]
+	case df <= 40:
+		return 1.684
+	case df <= 60:
+		return 1.671
+	case df <= 120:
+		return 1.658
+	default:
+		return 1.645
+	}
+}
+
+// TUpperBound95 returns the one-sided 95% upper confidence bound
+// mean + t_(m-1,0.05) * s / sqrt(m) for m observations with sample mean mean
+// and sample standard deviation s (paper Eq 8). With fewer than 2 samples the
+// bound is +Inf: no statistically meaningful statement can be made.
+func TUpperBound95(mean, s float64, m int) float64 {
+	if m < 2 {
+		return math.Inf(1)
+	}
+	return mean + TOneSided95(m-1)*s/math.Sqrt(float64(m))
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive entries.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

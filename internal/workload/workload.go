@@ -1,0 +1,188 @@
+// Package workload assembles the paper's nine evaluation benchmarks — the
+// five OS-intensive workloads (ab-rand, ab-seq, du, find-od, iperf) and the
+// four SPEC2000-like controls (gzip, vpr, art, swim) — into runnable
+// simulations: machine + kernel + guest programs + traffic models.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"fssim/internal/guest"
+	"fssim/internal/kernel"
+	"fssim/internal/machine"
+)
+
+// Benchmark describes one named workload.
+type Benchmark struct {
+	Name        string
+	OSIntensive bool
+	Description string
+	setup       func(k *kernel.Kernel, scale float64)
+}
+
+func scaled(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+var registry = map[string]Benchmark{
+	"ab-single": {
+		Name: "ab-single", OSIntensive: true,
+		Description: "Apache-like server, unmodified ab: one page repeatedly",
+		setup: func(k *kernel.Kernel, scale float64) {
+			guest.SetupWebServer(k, guest.SingleWebConfig(scaled(320, scale)))
+		},
+	},
+	"ab-rand": {
+		Name: "ab-rand", OSIntensive: true,
+		Description: "Apache-like server, random page requests (8 concurrent)",
+		setup: func(k *kernel.Kernel, scale float64) {
+			guest.SetupWebServer(k, guest.DefaultWebConfig(false, scaled(320, scale)))
+		},
+	},
+	"ab-seq": {
+		Name: "ab-seq", OSIntensive: true,
+		Description: "Apache-like server, sequential size-sorted page requests",
+		setup: func(k *kernel.Kernel, scale float64) {
+			guest.SetupWebServer(k, guest.DefaultWebConfig(true, scaled(700, scale)))
+		},
+	},
+	"du": {
+		Name: "du", OSIntensive: true,
+		Description: "disk-usage walk of a ~1000-file /usr tree",
+		setup: func(k *kernel.Kernel, scale float64) {
+			tree := guest.DefaultTreeConfig()
+			if scale < 1 {
+				tree.TopDirs = scaled(tree.TopDirs, scale)
+			}
+			guest.BuildTree(k, tree)
+			guest.SetupDu(k, tree)
+		},
+	},
+	"find-od": {
+		Name: "find-od", OSIntensive: true,
+		Description: "find -exec od over a /usr subtree (fork+exec per file)",
+		setup: func(k *kernel.Kernel, scale float64) {
+			cfg := guest.DefaultFindOdConfig()
+			cfg.TopDirs = scaled(cfg.TopDirs, scale)
+			guest.BuildTree(k, cfg.Tree)
+			guest.SetupFindOd(k, cfg)
+		},
+	},
+	"iperf": {
+		Name: "iperf", OSIntensive: true,
+		Description: "TCP bandwidth client: back-to-back socket writes",
+		setup: func(k *kernel.Kernel, scale float64) {
+			cfg := guest.DefaultIperfConfig()
+			cfg.Writes = scaled(cfg.Writes, scale)
+			guest.SetupIperf(k, cfg)
+		},
+	},
+	"gzip": specBench("gzip", "hash-chain compression over a 448KB working set"),
+	"vpr":  specBench("vpr", "random placement moves over a 1.5MB netlist"),
+	"art":  specBench("art", "neural-net scans over ~2.5MB of arrays"),
+	"swim": specBench("swim", "grid stencils streaming 4MB"),
+}
+
+func specBench(name, desc string) Benchmark {
+	return Benchmark{
+		Name: name, OSIntensive: false, Description: desc,
+		setup: func(k *kernel.Kernel, scale float64) {
+			guest.SetupSpec(k, name, guest.SpecConfig{WorkScale: scale})
+		},
+	}
+}
+
+// Names returns all benchmark names, OS-intensive first, each group in the
+// paper's presentation order.
+func Names() []string {
+	order := map[string]int{
+		"ab-rand": 0, "ab-seq": 1, "du": 2, "find-od": 3, "iperf": 4,
+		"gzip": 5, "vpr": 6, "art": 7, "swim": 8, "ab-single": 9,
+	}
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return order[out[i]] < order[out[j]] })
+	return out
+}
+
+// OSIntensiveNames returns the five OS-intensive benchmark names.
+func OSIntensiveNames() []string {
+	return []string{"ab-rand", "ab-seq", "du", "find-od", "iperf"}
+}
+
+// Lookup returns the named benchmark.
+func Lookup(name string) (Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// Options configures one simulation run.
+type Options struct {
+	Machine  machine.Config
+	Tunables kernel.Tunables
+	Scale    float64 // workload size multiplier (default 1.0)
+	Sink     machine.IntervalSink
+	Observer func(machine.IntervalRecord)
+}
+
+// DefaultOptions returns the paper's platform at full workload scale.
+func DefaultOptions() Options {
+	return Options{
+		Machine:  machine.DefaultConfig(),
+		Tunables: kernel.DefaultTunables(),
+		Scale:    1.0,
+	}
+}
+
+// Result bundles the finished simulation's components for inspection.
+type Result struct {
+	Machine *machine.Machine
+	Kernel  *kernel.Kernel
+	Stats   machine.Stats
+}
+
+// Run builds and runs the named benchmark to completion.
+func Run(name string, opts Options) (Result, error) {
+	b, err := Lookup(name)
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.Scale == 0 {
+		opts.Scale = 1.0
+	}
+	m := machine.New(opts.Machine)
+	if opts.Sink != nil {
+		m.SetSink(opts.Sink)
+	}
+	if opts.Observer != nil {
+		m.SetObserver(opts.Observer)
+	}
+	k := kernel.New(m, opts.Tunables)
+	b.setup(k, opts.Scale)
+	// Workloads with a declared warm-up (the web benchmarks skip their first
+	// requests, iperf its first writes, as in the paper's §5.2) defer the
+	// acceleration engine and reset the statistics baseline at the warm
+	// point, so measurement and learning both cover the steady state.
+	if m.HasWarmup() {
+		type armer interface{ Arm() }
+		if a, ok := opts.Sink.(armer); ok {
+			type deferrer interface{ Defer() }
+			if d, ok := opts.Sink.(deferrer); ok {
+				d.Defer()
+			}
+			m.SetWarmCallback(a.Arm)
+		}
+	}
+	k.Run()
+	return Result{Machine: m, Kernel: k, Stats: m.Stats()}, nil
+}
