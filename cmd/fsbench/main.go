@@ -2,12 +2,21 @@
 // (1-12) and table (1-2), or any subset, printing the same rows/series the
 // paper reports.
 //
+// The harness runs experiments over a shared scheduler: each distinct
+// (benchmark, mode, L2, scale, seed, options) simulation executes exactly
+// once per invocation, and independent simulations run concurrently on a
+// worker pool. Tables are byte-identical at any -j because every run's seed
+// is derived from the base seed and its run key, never from scheduling order.
+//
 // Usage:
 //
 //	fsbench                  # run everything at default scale
 //	fsbench -exp fig8        # one artifact
 //	fsbench -exp fig2,tab2   # a subset
 //	fsbench -scale 0.5       # half-size workloads (faster, noisier)
+//	fsbench -j 8             # up to 8 concurrent simulations
+//	fsbench -j 1             # serial (tables identical to any other -j)
+//	fsbench -pincosts        # pin tab1/tab2 host-cost columns (reproducible)
 package main
 
 import (
@@ -25,11 +34,20 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	pincosts := flag.Bool("pincosts", false, "pin tab1/tab2 mode costs to reference values instead of timing this host")
+	var parallel int
+	flag.IntVar(&parallel, "parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	flag.IntVar(&parallel, "j", 0, "shorthand for -parallel")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Printf("%-6s %s\n", id, experiments.Title(id))
+			title, err := experiments.Title(id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fsbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-6s %s\n", id, title)
 		}
 		return
 	}
@@ -37,17 +55,28 @@ func main() {
 	ids := experiments.IDs()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
-	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		start := time.Now()
-		res, err := experiments.Run(id, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fsbench: %s: %v\n", id, err)
-			os.Exit(1)
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
 		}
-		fmt.Println(res.Render())
-		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Parallelism: parallel}
+	if *pincosts {
+		mc := experiments.ReferenceModeCosts
+		cfg.ModeCosts = &mc
+	}
+
+	start := time.Now()
+	sched := experiments.NewScheduler(cfg)
+	results, err := sched.RunMany(ids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, res := range results {
+		fmt.Println(res.Render())
+	}
+	st := sched.Stats()
+	fmt.Printf("suite: %d experiments, %d distinct simulations (%d requests, %d served from cache), sim %.1fs in %.1fs wall at -j %d\n",
+		len(results), st.Distinct, st.Hits+st.Misses, st.Hits,
+		st.SimWall.Seconds(), time.Since(start).Seconds(), sched.Parallelism())
 }

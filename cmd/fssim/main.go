@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"time"
 
 	"fssim/internal/core"
 	"fssim/internal/machine"
@@ -129,12 +128,11 @@ func main() {
 		fail("unknown mode %q", *mode)
 	}
 
-	start := time.Now()
 	res, err := workload.Run(*bench, opts)
 	if err != nil {
 		fail("%v", err)
 	}
-	host := time.Since(start)
+	host := res.Wall
 	st := res.Stats
 
 	fmt.Printf("benchmark        %s (%s mode, scale %.2f)\n", *bench, opts.Machine.Mode, *scale)

@@ -272,13 +272,32 @@ func Experiments() []string { return experiments.IDs() }
 // RunExperiment regenerates one paper artifact and returns its rendered
 // table.
 func RunExperiment(id string, scale float64) (string, error) {
+	out, err := RunExperiments([]string{id}, scale, 0)
+	if err != nil {
+		return "", err
+	}
+	return out[0], nil
+}
+
+// RunExperiments regenerates several paper artifacts over one shared
+// experiment scheduler: each distinct simulation executes exactly once even
+// when artifacts overlap (the App+OS baselines are shared by six of them),
+// and up to parallelism simulations run concurrently (0 = GOMAXPROCS).
+// Rendered tables come back in input order and are byte-identical at any
+// parallelism level. An empty ids slice runs the full suite.
+func RunExperiments(ids []string, scale float64, parallelism int) ([]string, error) {
 	cfg := experiments.DefaultConfig()
 	if scale > 0 {
 		cfg.Scale = scale
 	}
-	res, err := experiments.Run(id, cfg)
+	cfg.Parallelism = parallelism
+	results, err := experiments.RunAll(ids, cfg)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	return res.Render(), nil
+	out := make([]string, len(results))
+	for i, res := range results {
+		out[i] = res.Render()
+	}
+	return out, nil
 }

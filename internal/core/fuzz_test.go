@@ -1,0 +1,85 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzClusterMatch drives the PLT's scaled-cluster algebra (paper §4.2) with
+// arbitrary signature sequences and asserts the invariants the acceleration
+// scheme's hot path — now also exercised concurrently by the parallel
+// experiment harness — relies on:
+//
+//  1. a matched instance always falls within the scaled range of the
+//     cluster Match returns, and that cluster is the nearest in-range one;
+//  2. Learn creates a new cluster only when the instance is an outlier to
+//     every existing cluster (centroid ranges never swallow a point that
+//     spawned a sibling), and otherwise folds into the matched cluster;
+//  3. centroids stay inside the convex hull of their members, so member
+//     counts and centroid updates never produce NaN or runaway values.
+func FuzzClusterMatch(f *testing.F) {
+	f.Add([]byte{0x10, 0x00, 0x11, 0x00, 0x80, 0x3e, 0x81, 0x3e})
+	f.Add([]byte{0xff, 0xff, 0x01, 0x00, 0x00, 0x04, 0xf0, 0x03, 0x10, 0x04})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const frac = 0.05 // the paper's ±5% scaled-cluster range
+		var plt PLT
+		var minSeen, maxSeen float64 = math.Inf(1), math.Inf(-1)
+		for i := 0; i+2 <= len(data); i += 2 {
+			insts := uint64(binary.LittleEndian.Uint16(data[i:])) + 1
+			sig := Signature{Insts: insts}
+			v := float64(insts)
+
+			pre := plt.Match(sig, frac, 0, false)
+			if pre != nil {
+				if !pre.InRange(sig, frac, 0) {
+					t.Fatalf("Match returned out-of-range cluster: insts=%d centroid=%g", insts, pre.Centroid)
+				}
+				for _, c := range plt.Clusters {
+					if c.InRange(sig, frac, 0) && c.distance(sig) < pre.distance(sig) {
+						t.Fatalf("Match not nearest: insts=%d got centroid %g, closer in-range centroid %g",
+							insts, pre.Centroid, c.Centroid)
+					}
+				}
+			}
+
+			before := len(plt.Clusters)
+			got := plt.Learn(sig, nil, frac, 0, false)
+			switch {
+			case pre == nil:
+				if len(plt.Clusters) != before+1 {
+					t.Fatalf("outlier insts=%d did not create a cluster (%d -> %d)", insts, before, len(plt.Clusters))
+				}
+				if got.Centroid != v || got.N != 1 {
+					t.Fatalf("new cluster not seeded at the instance: centroid=%g n=%d want %g/1", got.Centroid, got.N, v)
+				}
+				// The new centroid must not lie within any sibling's range:
+				// had it, Match would have returned that sibling instead.
+				for _, c := range plt.Clusters {
+					if c != got && c.InRange(sig, frac, 0) {
+						t.Fatalf("new cluster at %g overlaps sibling centroid %g (±%g)", v, c.Centroid, c.Centroid*frac)
+					}
+				}
+			default:
+				if got != pre {
+					t.Fatalf("Learn folded insts=%d into centroid %g, Match chose %g", insts, got.Centroid, pre.Centroid)
+				}
+				if len(plt.Clusters) != before {
+					t.Fatalf("matched instance grew the table (%d -> %d)", before, len(plt.Clusters))
+				}
+			}
+
+			minSeen = math.Min(minSeen, v)
+			maxSeen = math.Max(maxSeen, v)
+			for _, c := range plt.Clusters {
+				if math.IsNaN(c.Centroid) || c.Centroid < minSeen || c.Centroid > maxSeen {
+					t.Fatalf("centroid %g escaped the member hull [%g, %g]", c.Centroid, minSeen, maxSeen)
+				}
+				if c.N <= 0 {
+					t.Fatalf("cluster with non-positive member count %d", c.N)
+				}
+			}
+		}
+	})
+}

@@ -9,23 +9,24 @@ import (
 	"fssim/internal/workload"
 )
 
-// accelRun runs one benchmark under the accelerated scheme with the given
-// strategy, returning the result and the accelerator for inspection.
-func accelRun(cfg Config, name string, strat core.Strategy, l2 int) (workload.Result, *core.Accelerator, error) {
-	params := core.DefaultParams()
-	params.Strategy = strat
-	acc := core.NewAccelerator(params)
-	res, err := runBench(cfg, name, machine.Accelerated, l2, func(o *workload.Options) {
-		o.Sink = acc
-	})
-	return res, acc, err
-}
-
 func absErr(pred, truth float64) float64 {
 	if truth == 0 {
 		return 0
 	}
 	return math.Abs(pred-truth) / truth
+}
+
+// fig8Needs declares fig8's runs: the OS-intensive benchmarks under full
+// detail, the Statistical accelerated scheme, and app-only simulation.
+func fig8Needs(cfg Config) []RunKey {
+	var keys []RunKey
+	for _, name := range workload.OSIntensiveNames() {
+		keys = append(keys,
+			cfg.benchKey(name, machine.FullSystem, 0),
+			cfg.accelKey(name, core.Statistical, 0),
+			cfg.benchKey(name, machine.AppOnly, 0))
+	}
+	return keys
 }
 
 // Fig8 regenerates Figure 8: execution time and IPC predicted by the
@@ -39,7 +40,7 @@ func Fig8(cfg Config) (*Result, error) {
 	var sumErr, worst float64
 	n := 0
 	for _, name := range workload.OSIntensiveNames() {
-		full, err := runBench(cfg, name, machine.FullSystem, 0, nil)
+		full, err := runBench(cfg, name, machine.FullSystem, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -47,7 +48,7 @@ func Fig8(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		app, err := runBench(cfg, name, machine.AppOnly, 0, nil)
+		app, err := runBench(cfg, name, machine.AppOnly, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -64,10 +65,22 @@ func Fig8(cfg Config) (*Result, error) {
 			f3(full.Stats.IPC()), f3(pred.Stats.IPC()), f3(app.Stats.IPC()),
 			pct(e))
 	}
-	return &Result{ID: "fig8", Title: Title("fig8"), Table: t, Notes: []string{
+	return &Result{Table: t, Notes: []string{
 		fmt.Sprintf("prediction error: average %.1f%%, worst case %.1f%% (paper: 3.2%% / 4.2%%)",
 			100*sumErr/float64(n), 100*worst),
 	}}, nil
+}
+
+// fig9Needs declares fig9's runs: full-system and Statistical accelerated
+// runs of the OS-intensive benchmarks.
+func fig9Needs(cfg Config) []RunKey {
+	var keys []RunKey
+	for _, name := range workload.OSIntensiveNames() {
+		keys = append(keys,
+			cfg.benchKey(name, machine.FullSystem, 0),
+			cfg.accelKey(name, core.Statistical, 0))
+	}
+	return keys
 }
 
 // Fig9 regenerates Figure 9: L1I / L1D / L2 miss rates from full-system
@@ -78,7 +91,7 @@ func Fig9(cfg Config) (*Result, error) {
 	t := NewTable("benchmark", "L1I full", "L1I pred", "L1D full", "L1D pred",
 		"L2 full", "L2 pred", "max |diff|")
 	for _, name := range workload.OSIntensiveNames() {
-		full, err := runBench(cfg, name, machine.FullSystem, 0, nil)
+		full, err := runBench(cfg, name, machine.FullSystem, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +106,22 @@ func Fig9(cfg Config) (*Result, error) {
 		maxd := math.Max(math.Abs(fi-pi), math.Max(math.Abs(fd-pd), math.Abs(fl-pl)))
 		t.AddRowf(name, pct(fi), pct(pi), pct(fd), pct(pd), pct(fl), pct(pl), pct(maxd))
 	}
-	return &Result{ID: "fig9", Title: Title("fig9"), Table: t}, nil
+	return &Result{Table: t}, nil
+}
+
+// fig10Needs declares fig10's runs: both L2 sizes under app-only,
+// full-system, and Statistical accelerated simulation.
+func fig10Needs(cfg Config) []RunKey {
+	var keys []RunKey
+	for _, name := range workload.OSIntensiveNames() {
+		for _, l2 := range []int{512 << 10, 1 << 20} {
+			keys = append(keys,
+				cfg.benchKey(name, machine.AppOnly, l2),
+				cfg.benchKey(name, machine.FullSystem, l2),
+				cfg.accelKey(name, core.Statistical, l2))
+		}
+	}
+	return keys
 }
 
 // Fig10 repeats Figure 2's L2-size study with the accelerated simulator in
@@ -104,11 +132,11 @@ func Fig10(cfg Config) (*Result, error) {
 	for _, name := range workload.OSIntensiveNames() {
 		row := []string{name}
 		for _, mode := range []machine.SimMode{machine.AppOnly, machine.FullSystem} {
-			small, err := runBench(cfg, name, mode, 512<<10, nil)
+			small, err := runBench(cfg, name, mode, 512<<10)
 			if err != nil {
 				return nil, err
 			}
-			large, err := runBench(cfg, name, mode, 1<<20, nil)
+			large, err := runBench(cfg, name, mode, 1<<20)
 			if err != nil {
 				return nil, err
 			}
@@ -125,7 +153,20 @@ func Fig10(cfg Config) (*Result, error) {
 		row = append(row, f2(ratio(small.Stats.Cycles, large.Stats.Cycles)))
 		t.AddRowf(row...)
 	}
-	return &Result{ID: "fig10", Title: Title("fig10"), Table: t}, nil
+	return &Result{Table: t}, nil
+}
+
+// fig11Needs declares fig11's runs: the full-system truth plus an
+// accelerated run per re-learning strategy.
+func fig11Needs(cfg Config) []RunKey {
+	var keys []RunKey
+	for _, name := range workload.OSIntensiveNames() {
+		keys = append(keys, cfg.benchKey(name, machine.FullSystem, 0))
+		for _, strat := range core.Strategies() {
+			keys = append(keys, cfg.accelKey(name, strat, 0))
+		}
+	}
+	return keys
 }
 
 // Fig11 regenerates Figure 11: coverage and absolute execution-time error of
@@ -141,7 +182,7 @@ func Fig11(cfg Config) (*Result, error) {
 	}
 	aggs := map[core.Strategy]*agg{}
 	for _, name := range workload.OSIntensiveNames() {
-		full, err := runBench(cfg, name, machine.FullSystem, 0, nil)
+		full, err := runBench(cfg, name, machine.FullSystem, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +212,21 @@ func Fig11(cfg Config) (*Result, error) {
 		t.AddRowf("average", strat.String(),
 			pct(a.cov/float64(a.n)), pct(a.err/float64(a.n)))
 	}
-	return &Result{ID: "fig11", Title: Title("fig11"), Table: t}, nil
+	return &Result{Table: t}, nil
+}
+
+// fig12Needs declares fig12's runs: full-system and Statistical accelerated
+// runs at 1MB, 2MB and 4MB L2.
+func fig12Needs(cfg Config) []RunKey {
+	var keys []RunKey
+	for _, name := range workload.OSIntensiveNames() {
+		for _, l2 := range []int{1 << 20, 2 << 20, 4 << 20} {
+			keys = append(keys,
+				cfg.benchKey(name, machine.FullSystem, l2),
+				cfg.accelKey(name, core.Statistical, l2))
+		}
+	}
+	return keys
 }
 
 // Fig12 regenerates Figure 12: the absolute execution-time prediction error
@@ -185,7 +240,7 @@ func Fig12(cfg Config) (*Result, error) {
 	for _, name := range workload.OSIntensiveNames() {
 		row := []string{name}
 		for i, l2 := range sizes {
-			full, err := runBench(cfg, name, machine.FullSystem, l2, nil)
+			full, err := runBench(cfg, name, machine.FullSystem, l2)
 			if err != nil {
 				return nil, err
 			}
@@ -205,5 +260,5 @@ func Fig12(cfg Config) (*Result, error) {
 		avg = append(avg, pct(s/float64(n)))
 	}
 	t.AddRowf(avg...)
-	return &Result{ID: "fig12", Title: Title("fig12"), Table: t}, nil
+	return &Result{Table: t}, nil
 }

@@ -5,6 +5,18 @@ import (
 	"fssim/internal/workload"
 )
 
+// fig1Needs declares fig1's runs: every benchmark under full-system and
+// application-only simulation at the default L2.
+func fig1Needs(cfg Config) []RunKey {
+	var keys []RunKey
+	for _, name := range workload.Names() {
+		keys = append(keys,
+			cfg.benchKey(name, machine.FullSystem, 0),
+			cfg.benchKey(name, machine.AppOnly, 0))
+	}
+	return keys
+}
+
 // Fig1 regenerates the paper's Figure 1: the L2 cache misses, execution time,
 // and IPC obtained by full-system simulation, normalized to application-only
 // simulation, for the five OS-intensive benchmarks and the four SPEC-like
@@ -13,11 +25,11 @@ import (
 func Fig1(cfg Config) (*Result, error) {
 	t := NewTable("benchmark", "L2miss(App+OS)/(AppOnly)", "time ratio", "IPC ratio", "OS insts")
 	for _, name := range workload.Names() {
-		full, err := runBench(cfg, name, machine.FullSystem, 0, nil)
+		full, err := runBench(cfg, name, machine.FullSystem, 0)
 		if err != nil {
 			return nil, err
 		}
-		app, err := runBench(cfg, name, machine.AppOnly, 0, nil)
+		app, err := runBench(cfg, name, machine.AppOnly, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -34,9 +46,23 @@ func Fig1(cfg Config) (*Result, error) {
 			f3(fs.IPC()/nonzero(as.IPC())),
 			pct(float64(fs.OSInsts)/float64(fs.Insts)))
 	}
-	return &Result{ID: "fig1", Title: Title("fig1"), Table: t, Notes: []string{
+	return &Result{Table: t, Notes: []string{
 		"App-only simulation executes OS services functionally at zero cost, as in the paper's baseline.",
 	}}, nil
+}
+
+// fig2Needs declares fig2's runs: every benchmark in both modes at 512KB and
+// 1MB L2 (the 1MB key normalizes onto fig1's default-L2 baselines).
+func fig2Needs(cfg Config) []RunKey {
+	var keys []RunKey
+	for _, name := range workload.Names() {
+		for _, mode := range []machine.SimMode{machine.AppOnly, machine.FullSystem} {
+			keys = append(keys,
+				cfg.benchKey(name, mode, 512<<10),
+				cfg.benchKey(name, mode, 1<<20))
+		}
+	}
+	return keys
 }
 
 // Fig2 regenerates Figure 2: the speedup ratio from growing the L2 from
@@ -48,11 +74,11 @@ func Fig2(cfg Config) (*Result, error) {
 	for _, name := range workload.Names() {
 		row := []string{name}
 		for _, mode := range []machine.SimMode{machine.AppOnly, machine.FullSystem} {
-			small, err := runBench(cfg, name, mode, 512<<10, nil)
+			small, err := runBench(cfg, name, mode, 512<<10)
 			if err != nil {
 				return nil, err
 			}
-			large, err := runBench(cfg, name, mode, 1<<20, nil)
+			large, err := runBench(cfg, name, mode, 1<<20)
 			if err != nil {
 				return nil, err
 			}
@@ -60,7 +86,7 @@ func Fig2(cfg Config) (*Result, error) {
 		}
 		t.AddRowf(row...)
 	}
-	return &Result{ID: "fig2", Title: Title("fig2"), Table: t}, nil
+	return &Result{Table: t}, nil
 }
 
 func nonzero(v float64) float64 {

@@ -10,13 +10,24 @@ import (
 	"fssim/internal/workload"
 )
 
-// profileRun runs a full-system simulation of name with a Profiler attached.
-func profileRun(cfg Config, name string) (*core.Profiler, error) {
-	prof := core.NewProfiler()
-	_, err := runBench(cfg, name, machine.FullSystem, 0, func(o *workload.Options) {
-		o.Observer = prof.Observer()
-	})
-	return prof, err
+// profilePairNeeds declares the two profiled full-system runs Figs 3-5 read
+// (ab-rand and ab-seq); the underlying cache entries double as the fig1/fig8
+// detailed baselines.
+func profilePairNeeds(cfg Config) []RunKey {
+	return []RunKey{
+		cfg.benchKey("ab-rand", machine.FullSystem, 0),
+		cfg.benchKey("ab-seq", machine.FullSystem, 0),
+	}
+}
+
+// fig6Needs declares profiled full-system runs of every OS-intensive
+// benchmark.
+func fig6Needs(cfg Config) []RunKey {
+	var keys []RunKey
+	for _, name := range workload.OSIntensiveNames() {
+		keys = append(keys, cfg.benchKey(name, machine.FullSystem, 0))
+	}
+	return keys
 }
 
 // Fig3 regenerates Figure 3: the average and range (avg ± std) of cycles and
@@ -37,7 +48,7 @@ func Fig3(cfg Config) (*Result, error) {
 				f3(sp.IPC.Mean()), f3(sp.IPC.Std()))
 		}
 	}
-	return &Result{ID: "fig3", Title: Title("fig3"), Table: t}, nil
+	return &Result{Table: t}, nil
 }
 
 // Fig4 regenerates Figure 4: sys_read's execution time across invocations
@@ -64,7 +75,7 @@ func Fig4(cfg Config) (*Result, error) {
 		t.AddRowf(bench, fmt.Sprint(len(cyc)), f1(mn), f1(q1), f1(md), f1(q3), f1(mx),
 			fmt.Sprint(h.NonEmpty()))
 	}
-	return &Result{ID: "fig4", Title: Title("fig4"), Table: t, Notes: []string{
+	return &Result{Table: t, Notes: []string{
 		"Use `oschar -bench ab-rand -service sys_read -series` to dump the full per-invocation series.",
 	}}, nil
 }
@@ -89,7 +100,7 @@ func Fig5(cfg Config) (*Result, error) {
 			t.AddRowf(bench, f1(c.X), f1(c.Y), fmt.Sprint(c.Count))
 		}
 	}
-	return &Result{ID: "fig5", Title: Title("fig5"), Table: t}, nil
+	return &Result{Table: t}, nil
 }
 
 // Fig6 regenerates Figure 6: average coefficient of variation of execution
@@ -117,7 +128,7 @@ func Fig6(cfg Config) (*Result, error) {
 	}
 	t.AddRowf("average", f3(sums.NonClusteredTime/float64(n)), f3(sums.ClusteredTime/float64(n)),
 		f3(sums.NonClusteredIPC/float64(n)), f3(sums.ClusteredIPC/float64(n)))
-	return &Result{ID: "fig6", Title: Title("fig6"), Table: t}, nil
+	return &Result{Table: t}, nil
 }
 
 func quantiles(xs []float64) (mn, q1, md, q3, mx float64) {

@@ -16,9 +16,16 @@ func TestIDsCoverPaperArtifacts(t *testing.T) {
 		t.Fatalf("ordering wrong: %v", ids)
 	}
 	for _, id := range ids {
-		if Title(id) == "" {
+		title, err := Title(id)
+		if err != nil {
+			t.Errorf("Title(%s): %v", id, err)
+		}
+		if title == "" {
 			t.Errorf("%s has no title", id)
 		}
+	}
+	if _, err := Title("fig99"); err == nil {
+		t.Error("Title accepted an unknown id")
 	}
 }
 
@@ -129,10 +136,13 @@ func TestAllExperimentsSmoke(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.Scale = 0.15
+	mc := ReferenceModeCosts
+	cfg.ModeCosts = &mc
+	sched := NewScheduler(cfg) // shared cache: overlapping runners simulate once
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			res, err := Run(id, cfg)
+			res, err := sched.Run(id)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden-table files under testdata/")
+
+// goldenIDs is the representative subset whose rendered output is pinned:
+// a baseline divergence figure (fig1), the two characterization summaries
+// clustering feeds (fig6), the closed-form learning window (fig7), the
+// strategy comparison (fig11), and the Eq-10 speedup table (tab2).
+var goldenIDs = []string{"fig1", "fig6", "fig7", "fig11", "tab2"}
+
+// goldenConfig is the pinned small-scale configuration the files were
+// rendered under. Mode costs are pinned so tab2 doesn't time the host.
+func goldenConfig() Config {
+	mc := ReferenceModeCosts
+	return Config{Scale: 0.1, Seed: 1, Parallelism: 4, ModeCosts: &mc}
+}
+
+// TestGoldenTables locks the paper-reproduction numbers: any change to the
+// simulated platform, the workloads, the characterization pipeline or the
+// harness's seed derivation that shifts an experiment's output fails here.
+// Intentional changes are re-pinned with:
+//
+//	go test ./internal/experiments/ -run TestGoldenTables -update
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: simulates the golden subset")
+	}
+	results, err := RunAll(goldenIDs, goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		res := res
+		t.Run(res.ID, func(t *testing.T) {
+			path := filepath.Join("testdata", res.ID+".golden")
+			got := res.StableRender()
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from its golden table.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intentional, regenerate with -update.",
+					res.ID, got, want)
+			}
+		})
+	}
+}

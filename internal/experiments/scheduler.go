@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fssim/internal/core"
+	"fssim/internal/machine"
+	"fssim/internal/workload"
+)
+
+// RunKey identifies one distinct simulation in the harness's memo cache.
+// Two experiment runners asking for the same key share a single simulation:
+// the paper's baselines (full-system App+OS at the default L2, for example)
+// are needed by fig1, fig2, fig8, fig9, fig10 and tab2, but are simulated
+// exactly once per Scheduler.
+type RunKey struct {
+	Bench string
+	Mode  machine.SimMode
+	L2    int // L2 size in bytes; 0 = the platform default (keys are normalized)
+	Scale float64
+	Seed  int64 // the config's base seed; the run's machine seed is derived
+	// OptsHash discriminates option variants beyond (mode, L2). For
+	// Accelerated runs it encodes the re-learning strategy as
+	// uint64(strategy)+1; it is 0 for plain detailed/app-only runs.
+	OptsHash uint64
+}
+
+// String renders the key compactly for notes and error messages.
+func (k RunKey) String() string {
+	s := fmt.Sprintf("%s/%s/L2=%d/scale=%g", k.Bench, k.Mode, k.L2, k.Scale)
+	if k.OptsHash != 0 {
+		s += fmt.Sprintf("/opts=%d", k.OptsHash)
+	}
+	return s
+}
+
+// DeriveSeed maps the base seed and the key's coordinates to the seed the
+// run's machine uses. Deriving per-run seeds (rather than handing every run
+// the same base seed) makes each simulation's randomness a pure function of
+// what is being simulated, so results are independent of scheduling order
+// and of which other experiments happen to share the cache.
+func (k RunKey) DeriveSeed() int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%x|%d|%d",
+		k.Bench, k.Mode, k.L2, math.Float64bits(k.Scale), k.Seed, k.OptsHash)
+	s := int64(h.Sum64() &^ (1 << 63)) // keep it non-negative for readability
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// accelStrategy recovers the re-learning strategy an Accelerated key encodes.
+func (k RunKey) accelStrategy() core.Strategy { return core.Strategy(k.OptsHash - 1) }
+
+// runOutput is everything a memoized run yields. Full-system runs always
+// carry a Profiler (characterization is free to record and lets Figs 3-6
+// share the same cached simulations as the fig1/fig8 baselines); Accelerated
+// runs carry their Accelerator. Both are immutable once the run completes,
+// so concurrent readers need no locking.
+type runOutput struct {
+	res  workload.Result
+	acc  *core.Accelerator
+	prof *core.Profiler
+}
+
+// runEntry is one cache slot; done is closed when out/err/wall are final.
+// creator records which experiment's request created the entry, so a runner
+// re-reading a run its own prefetch started is not miscounted as a cache hit.
+type runEntry struct {
+	done    chan struct{}
+	creator *expStats
+	out     runOutput
+	err     error
+	wall    time.Duration
+}
+
+// SchedStats is the scheduler's aggregate view of work performed and saved.
+type SchedStats struct {
+	Distinct int           // distinct simulations executed
+	Hits     int64         // Get calls served from cache (or coalesced in-flight)
+	Misses   int64         // Get calls that executed a new simulation
+	SimWall  time.Duration // summed wall-clock of executed simulations
+}
+
+// Scheduler memoizes simulation runs keyed by RunKey and executes distinct
+// runs on a bounded worker pool. Concurrent requests for the same key are
+// coalesced singleflight-style: the first caller simulates, later callers
+// block on the same entry. A Scheduler is safe for concurrent use.
+type Scheduler struct {
+	cfg   Config
+	slots chan struct{} // worker-pool semaphore; cap = parallelism
+
+	mu   sync.Mutex
+	runs map[RunKey]*runEntry
+
+	costsOnce sync.Once
+	costs     ModeCosts
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	simWall atomic.Int64 // nanoseconds
+}
+
+// NewScheduler builds a scheduler for cfg; cfg is normalized first, so a
+// zero Parallelism becomes GOMAXPROCS and a zero Scale the default 1.0.
+func NewScheduler(cfg Config) *Scheduler {
+	cfg = cfg.normalized()
+	return &Scheduler{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.Parallelism),
+		runs:  make(map[RunKey]*runEntry),
+	}
+}
+
+// Parallelism returns the worker-pool width.
+func (s *Scheduler) Parallelism() int { return cap(s.slots) }
+
+// Stats returns a snapshot of cache and timing counters.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	n := len(s.runs)
+	s.mu.Unlock()
+	return SchedStats{
+		Distinct: n,
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+		SimWall:  time.Duration(s.simWall.Load()),
+	}
+}
+
+// Get runs (or returns the memoized result of) the simulation key describes.
+func (s *Scheduler) Get(key RunKey) (workload.Result, error) {
+	out, err := s.get(key, nil)
+	return out.res, err
+}
+
+// Prefetch starts the given runs in the background without waiting for them.
+// Experiment runners declare their full run set up front so that independent
+// simulations proceed concurrently while the runner consumes results in its
+// (serial) presentation order.
+func (s *Scheduler) Prefetch(keys ...RunKey) { s.prefetch(nil, keys...) }
+
+// prefetch is Prefetch with per-experiment stat attribution: simulations the
+// prefetch starts are credited to st, not miscounted later as cache hits.
+func (s *Scheduler) prefetch(st *expStats, keys ...RunKey) {
+	for _, key := range keys {
+		key := key
+		go func() { _, _ = s.get(key, st) }()
+	}
+}
+
+// get is the memoizing core. st, when non-nil, receives per-experiment
+// hit/miss attribution for the requesting runner's notes.
+func (s *Scheduler) get(key RunKey, st *expStats) (runOutput, error) {
+	s.mu.Lock()
+	e, ok := s.runs[key]
+	if ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		if st != nil && e.creator != st {
+			st.hits.Add(1)
+		}
+		<-e.done
+		return e.out, e.err
+	}
+	e = &runEntry{done: make(chan struct{}), creator: st}
+	s.runs[key] = e
+	s.mu.Unlock()
+	s.misses.Add(1)
+	if st != nil {
+		st.misses.Add(1)
+	}
+
+	s.slots <- struct{}{}
+	start := time.Now()
+	e.out, e.err = s.execute(key)
+	e.wall = time.Since(start)
+	<-s.slots
+
+	s.simWall.Add(int64(e.wall))
+	if st != nil {
+		st.simWall.Add(int64(e.wall))
+	}
+	close(e.done)
+	return e.out, e.err
+}
+
+// execute builds and runs the simulation a key fully describes.
+func (s *Scheduler) execute(key RunKey) (runOutput, error) {
+	opts := workload.DefaultOptions()
+	opts.Scale = key.Scale
+	opts.Machine.Mode = key.Mode
+	opts.Machine.Seed = key.DeriveSeed()
+	if key.L2 > 0 {
+		opts.Machine.Mem = opts.Machine.Mem.WithL2Size(key.L2)
+	}
+	var out runOutput
+	switch key.Mode {
+	case machine.FullSystem:
+		out.prof = core.NewProfiler()
+		opts.Observer = out.prof.Observer()
+	case machine.Accelerated:
+		params := core.DefaultParams()
+		params.Strategy = key.accelStrategy()
+		out.acc = core.NewAccelerator(params)
+		opts.Sink = out.acc
+	}
+	res, err := workload.Run(key.Bench, opts)
+	out.res = res
+	return out, err
+}
+
+// modeCosts returns the Table 1 host-cost measurement, pinned from the
+// config when set, otherwise measured once per scheduler. Measurement drains
+// the worker pool first so concurrent simulations cannot skew the timing.
+func (s *Scheduler) modeCosts() ModeCosts {
+	s.costsOnce.Do(func() {
+		if s.cfg.ModeCosts != nil {
+			s.costs = *s.cfg.ModeCosts
+			return
+		}
+		for i := 0; i < cap(s.slots); i++ {
+			s.slots <- struct{}{}
+		}
+		s.costs = measureModeCosts(3_000_000)
+		for i := 0; i < cap(s.slots); i++ {
+			<-s.slots
+		}
+	})
+	return s.costs
+}
+
+// --- key constructors -------------------------------------------------------
+
+// benchKey is the cache key for a plain run of name under mode with the
+// given L2 size (0 or the platform default both normalize to 0).
+func (c Config) benchKey(name string, mode machine.SimMode, l2 int) RunKey {
+	if l2 == defaultL2() {
+		l2 = 0
+	}
+	return RunKey{Bench: name, Mode: mode, L2: l2, Scale: c.Scale, Seed: c.Seed}
+}
+
+// accelKey is the cache key for an Accelerated run under the given
+// re-learning strategy.
+func (c Config) accelKey(name string, strat core.Strategy, l2 int) RunKey {
+	k := c.benchKey(name, machine.Accelerated, l2)
+	k.OptsHash = uint64(strat) + 1
+	return k
+}
+
+// --- per-experiment attribution --------------------------------------------
+
+// expStats attributes scheduler activity to one experiment run for its
+// "harness:" note: how many of its requests were fresh simulations versus
+// cache hits, and how much simulation wall-clock its fresh runs cost.
+type expStats struct {
+	hits    atomic.Int64
+	misses  atomic.Int64
+	simWall atomic.Int64
+}
+
+func (st *expStats) note(wall time.Duration, parallelism int) string {
+	h, m := st.hits.Load(), st.misses.Load()
+	return fmt.Sprintf("harness: %d runs (%d simulated, %d cache hits), sim %.1fs, wall %.1fs, parallelism %d",
+		h+m, m, h, time.Duration(st.simWall.Load()).Seconds(), wall.Seconds(), parallelism)
+}
+
+// --- runner-facing helpers --------------------------------------------------
+
+// runBench returns the (memoized) result of one benchmark under the given
+// machine mode and L2 size.
+func runBench(cfg Config, name string, mode machine.SimMode, l2 int) (workload.Result, error) {
+	out, err := cfg.sched.get(cfg.benchKey(name, mode, l2), cfg.stats)
+	return out.res, err
+}
+
+// accelRun returns the (memoized) result of one benchmark under the
+// accelerated scheme with the given strategy, plus the accelerator that
+// drove it, for coverage inspection.
+func accelRun(cfg Config, name string, strat core.Strategy, l2 int) (workload.Result, *core.Accelerator, error) {
+	out, err := cfg.sched.get(cfg.accelKey(name, strat, l2), cfg.stats)
+	return out.res, out.acc, err
+}
+
+// profileRun returns the §3 characterization profiler of a full-system run
+// of name. The underlying simulation is the same cache entry the baseline
+// figures use: every full-system run records its profile as it executes.
+func profileRun(cfg Config, name string) (*core.Profiler, error) {
+	out, err := cfg.sched.get(cfg.benchKey(name, machine.FullSystem, 0), cfg.stats)
+	return out.prof, err
+}

@@ -103,8 +103,11 @@ func measureModeCosts(insts int) ModeCosts {
 // The paper measured Simics at 3x / 64x / 133x; our substrate's ratios
 // differ (the timestamp-based OOO model is far cheaper than an event-driven
 // one), and the measured values feed Table 2's Eq-10 speedup estimates.
+// The measurement is shared with Table 2 through the scheduler (taken once,
+// with the worker pool drained so concurrent simulations cannot skew it)
+// and can be pinned via Config.ModeCosts for reproducible output.
 func Table1(cfg Config) (*Result, error) {
-	mc := measureModeCosts(3_000_000)
+	mc := cfg.sched.modeCosts()
 	t := NewTable("mode", "ns/inst", "slowdown vs inorder-nocache")
 	rows := []struct {
 		name string
@@ -119,10 +122,14 @@ func Table1(cfg Config) (*Result, error) {
 	for _, r := range rows {
 		t.AddRowf(r.name, f2(r.v), f1(r.v/mc.InorderNoCache)+"x")
 	}
-	return &Result{ID: "tab1", Title: Title("tab1"), Table: t, Notes: []string{
+	notes := []string{
 		fmt.Sprintf("detailed(ooo-cache)/emulation ratio R = %.0fx (paper assumes 133x for Eq 10)",
 			mc.OOOCache/mc.Emulation),
-	}}, nil
+	}
+	if cfg.ModeCosts != nil {
+		notes = append(notes, "mode costs pinned via Config.ModeCosts (not measured on this host)")
+	}
+	return &Result{Table: t, Notes: notes}, nil
 }
 
 // SpeedupEq10 computes the paper's Eq 10: with N total instructions, X of
@@ -139,12 +146,22 @@ func SpeedupEq10(n, x uint64, r float64) float64 {
 	return float64(n) / den
 }
 
+// tab2Needs declares tab2's runs: a Statistical accelerated run per
+// OS-intensive benchmark (shared with fig8/fig9's cache entries).
+func tab2Needs(cfg Config) []RunKey {
+	var keys []RunKey
+	for _, name := range workload.OSIntensiveNames() {
+		keys = append(keys, cfg.accelKey(name, core.Statistical, 0))
+	}
+	return keys
+}
+
 // Table2 regenerates the paper's Table 2: estimated simulation speedups per
 // benchmark under the Statistical strategy, from instruction coverage and
 // the mode-cost ratio — with the paper's R=133 and with our measured R.
 // The paper reports 2.8x-15.6x with a 4.9x geometric mean.
 func Table2(cfg Config) (*Result, error) {
-	mc := measureModeCosts(1_500_000)
+	mc := cfg.sched.modeCosts()
 	rMeasured := mc.OOOCache / mc.Emulation
 	const rPaper = 133
 	t := NewTable("benchmark", "insts fast-forwarded", "coverage",
@@ -164,7 +181,7 @@ func Table2(cfg Config) (*Result, error) {
 			pct(acc.Summary().Coverage()), f1(s1)+"x", f1(s2)+"x")
 	}
 	t.AddRowf("gmean", "", "", f1(stats.GeoMean(sp133))+"x", f1(stats.GeoMean(spM))+"x")
-	return &Result{ID: "tab2", Title: Title("tab2"), Table: t, Notes: []string{
+	return &Result{Table: t, Notes: []string{
 		"Eq 10: speedup = N / (X/R + (N-X)); paper reports 2.8x-15.6x, gmean 4.9x at R=133.",
 	}}, nil
 }

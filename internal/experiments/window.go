@@ -20,7 +20,7 @@ func Fig7(cfg Config) (*Result, error) {
 			fmt.Sprint(stats.LearningWindow(pmin, 0.95)),
 			fmt.Sprint(stats.LearningWindow(pmin, 0.99)))
 	}
-	return &Result{ID: "fig7", Title: Title("fig7"), Table: t, Notes: []string{
+	return &Result{Table: t, Notes: []string{
 		"Closed form of paper Eq 3: smallest N with 1-(1-p_min)^N >= DoC.",
 	}}, nil
 }

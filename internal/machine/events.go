@@ -28,15 +28,16 @@ func (q *eventQueue) Pop() interface{} {
 	return e
 }
 
-var eventSeq uint64
-
 // Schedule runs fn when the global cycle counter reaches cycle `at`
 // (immediately at the next instruction boundary if `at` is already past).
 // Device models use this for disk completions, packet arrivals and timer
 // ticks; callbacks typically raise an interrupt via the kernel.
+// The tie-break sequence is per-machine so that concurrently running
+// machines stay race-free and each machine's event order is a pure
+// function of its own history.
 func (m *Machine) Schedule(at uint64, fn func()) {
-	eventSeq++
-	heap.Push(&m.events, event{at: at, seq: eventSeq, fn: fn})
+	m.eventSeq++
+	heap.Push(&m.events, event{at: at, seq: m.eventSeq, fn: fn})
 	if at < m.next {
 		m.next = at
 	}

@@ -157,8 +157,9 @@ type Machine struct {
 	rng  *rand.Rand
 	Lay  *memsim.Layout
 
-	events eventQueue
-	next   uint64 // cycle of earliest pending event (cache of heap head)
+	events   eventQueue
+	eventSeq uint64 // per-machine tie-break counter for simultaneous events
+	next     uint64 // cycle of earliest pending event (cache of heap head)
 
 	depth      int // current context's kernel nesting depth
 	inInterval bool

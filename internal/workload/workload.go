@@ -7,6 +7,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"fssim/internal/guest"
 	"fssim/internal/kernel"
@@ -149,6 +150,9 @@ type Result struct {
 	Machine *machine.Machine
 	Kernel  *kernel.Kernel
 	Stats   machine.Stats
+	// Wall is the host wall-clock time the simulation took; the experiment
+	// harness aggregates it to report saved work when runs are memoized.
+	Wall time.Duration
 }
 
 // Run builds and runs the named benchmark to completion.
@@ -157,6 +161,7 @@ func Run(name string, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	start := time.Now()
 	if opts.Scale == 0 {
 		opts.Scale = 1.0
 	}
@@ -184,5 +189,5 @@ func Run(name string, opts Options) (Result, error) {
 		}
 	}
 	k.Run()
-	return Result{Machine: m, Kernel: k, Stats: m.Stats()}, nil
+	return Result{Machine: m, Kernel: k, Stats: m.Stats(), Wall: time.Since(start)}, nil
 }
