@@ -17,24 +17,36 @@
 //	fsbench -j 8             # up to 8 concurrent simulations
 //	fsbench -j 1             # serial (tables identical to any other -j)
 //	fsbench -pincosts        # pin tab1/tab2 host-cost columns (reproducible)
+//	fsbench -faults storm    # inject the "storm" fault plan into every run
+//	fsbench -timeout 2m      # abort any single simulation after 2 minutes
+//
+// Ctrl-C cancels cleanly: in-flight simulations abort cooperatively, and
+// experiments that already finished are still printed. A run that fails
+// (panic, timeout) is reported per run; every other run completes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"fssim/internal/experiments"
+	"fssim/internal/faults"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (fig1..fig12, tab1, tab2) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (fig1..fig12, tab1, tab2, faults) or 'all'")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	pincosts := flag.Bool("pincosts", false, "pin tab1/tab2 mode costs to reference values instead of timing this host")
+	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = unlimited)")
+	faultPlan := flag.String("faults", "", "fault plan injected into every simulation ("+strings.Join(faults.Names(), ", ")+"; empty = none)")
+	retries := flag.Int("retries", 0, "extra attempts for a failed simulation, each with a fresh derived seed")
 	var parallel int
 	flag.IntVar(&parallel, "parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	flag.IntVar(&parallel, "j", 0, "shorthand for -parallel")
@@ -59,7 +71,15 @@ func main() {
 			ids[i] = strings.TrimSpace(ids[i])
 		}
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Parallelism: parallel}
+	// Ctrl-C cancels the context; in-flight simulations abort cooperatively
+	// and already-finished experiments still render below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := experiments.Config{
+		Scale: *scale, Seed: *seed, Parallelism: parallel,
+		Timeout: *timeout, Retries: *retries, FaultPlan: *faultPlan,
+	}.WithContext(ctx)
 	if *pincosts {
 		mc := experiments.ReferenceModeCosts
 		cfg.ModeCosts = &mc
@@ -68,15 +88,23 @@ func main() {
 	start := time.Now()
 	sched := experiments.NewScheduler(cfg)
 	results, err := sched.RunMany(ids)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "fsbench: %v\n", err)
-		os.Exit(1)
-	}
+	ok := 0
 	for _, res := range results {
-		fmt.Println(res.Render())
+		if res != nil {
+			fmt.Println(res.Render())
+			ok++
+		}
+	}
+	if err != nil {
+		// errors.Join renders one line per failed experiment; each line names
+		// the run and cause (see experiments.RunError).
+		fmt.Fprintf(os.Stderr, "fsbench: %d of %d experiments failed:\n%v\n", len(results)-ok, len(results), err)
 	}
 	st := sched.Stats()
-	fmt.Printf("suite: %d experiments, %d distinct simulations (%d requests, %d served from cache), sim %.1fs in %.1fs wall at -j %d\n",
-		len(results), st.Distinct, st.Hits+st.Misses, st.Hits,
+	fmt.Printf("suite: %d/%d experiments, %d distinct simulations (%d requests, %d served from cache, %d failed, %d retried), sim %.1fs in %.1fs wall at -j %d\n",
+		ok, len(results), st.Distinct, st.Hits+st.Misses, st.Hits, st.Failures, st.Retries,
 		st.SimWall.Seconds(), time.Since(start).Seconds(), sched.Parallelism())
+	if err != nil {
+		os.Exit(1)
+	}
 }

@@ -45,6 +45,8 @@
 package fssim
 
 import (
+	"context"
+
 	"fssim/internal/core"
 	"fssim/internal/experiments"
 	"fssim/internal/isa"
@@ -175,6 +177,10 @@ type Report struct {
 	// Machine and Kernel expose the finished simulation for inspection.
 	Machine *Machine
 	Kernel  *Kernel
+	// Err is non-nil when the run ended abnormally (a guest-thread panic
+	// captured by the kernel scheduler, or a cancellation); Stats then cover
+	// the simulated prefix.
+	Err error
 }
 
 // IPC returns the run's overall instructions per cycle.
@@ -249,9 +255,11 @@ func (s *System) Spawn(name string, body func(*Proc)) *Thread {
 }
 
 // Run executes the system until every thread exits and returns the report.
+// A guest-thread panic or a machine cancellation surfaces in Report.Err; the
+// partially simulated statistics are still reported.
 func (s *System) Run() *Report {
-	s.k.Run()
-	return &Report{Stats: s.m.Stats(), Accel: s.acc, Machine: s.m, Kernel: s.k}
+	err := s.k.Run()
+	return &Report{Stats: s.m.Stats(), Accel: s.acc, Machine: s.m, Kernel: s.k, Err: err}
 }
 
 // DefaultParams returns the paper's acceleration parameters: Statistical
@@ -272,7 +280,7 @@ func Experiments() []string { return experiments.IDs() }
 // RunExperiment regenerates one paper artifact and returns its rendered
 // table.
 func RunExperiment(id string, scale float64) (string, error) {
-	out, err := RunExperiments([]string{id}, scale, 0)
+	out, err := RunExperiments(context.Background(), []string{id}, scale, 0)
 	if err != nil {
 		return "", err
 	}
@@ -285,19 +293,25 @@ func RunExperiment(id string, scale float64) (string, error) {
 // and up to parallelism simulations run concurrently (0 = GOMAXPROCS).
 // Rendered tables come back in input order and are byte-identical at any
 // parallelism level. An empty ids slice runs the full suite.
-func RunExperiments(ids []string, scale float64, parallelism int) ([]string, error) {
-	cfg := experiments.DefaultConfig()
+//
+// Canceling ctx aborts in-flight simulations cooperatively (this is how
+// fsbench turns Ctrl-C into a clean exit); experiments that completed before
+// the cancellation are still rendered and returned alongside the error.
+func RunExperiments(ctx context.Context, ids []string, scale float64, parallelism int) ([]string, error) {
+	cfg := experiments.DefaultConfig().WithContext(ctx)
 	if scale > 0 {
 		cfg.Scale = scale
 	}
 	cfg.Parallelism = parallelism
 	results, err := experiments.RunAll(ids, cfg)
-	if err != nil {
-		return nil, err
+	out := make([]string, 0, len(results))
+	for _, res := range results {
+		if res != nil {
+			out = append(out, res.Render())
+		}
 	}
-	out := make([]string, len(results))
-	for i, res := range results {
-		out[i] = res.Render()
+	if err != nil {
+		return out, err
 	}
 	return out, nil
 }

@@ -90,6 +90,7 @@ type Summary struct {
 	Predicted int64
 	Outliers  int64
 	Relearns  int64
+	Degrades  int64
 	Clusters  int
 }
 
@@ -114,6 +115,7 @@ func (a *Accelerator) Summary() Summary {
 		s.Predicted += l.Predicted
 		s.Outliers += l.Outliers
 		s.Relearns += l.Relearns
+		s.Degrades += l.Degrades
 		s.Clusters += len(l.Table.Clusters)
 	}
 	return s
@@ -128,6 +130,11 @@ type ServiceReport struct {
 	Predicted int64
 	Outliers  int64
 	Relearns  int64
+	Degrades  int64
+	// Phase is the learner's current phase name; OutlierRate its outlier
+	// fraction over the watchdog window (0 when the watchdog is disabled).
+	Phase       string
+	OutlierRate float64
 }
 
 // Report returns per-service rows sorted by invocation count (descending).
@@ -137,8 +144,51 @@ func (a *Accelerator) Report() []ServiceReport {
 		out = append(out, ServiceReport{
 			Service: l.Svc, Seen: l.seen, Clusters: len(l.Table.Clusters),
 			Predicted: l.Predicted, Outliers: l.Outliers, Relearns: l.Relearns,
+			Degrades: l.Degrades, Phase: l.Phase(), OutlierRate: l.OutlierRate(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seen > out[j].Seen })
 	return out
+}
+
+// Health is the guardrail-state summary: how many services sit in each phase,
+// how many degrade transitions have fired, and the worst per-service outlier
+// rate — the at-a-glance view fsbench and Accelerator users surface to decide
+// whether predictions are currently trustworthy.
+type Health struct {
+	Watchdog   bool // whether the divergence watchdog is armed
+	Services   int
+	Predicting int
+	Learning   int // includes warm-up
+	Degraded   int
+	Degrades   int64 // total degrade transitions across services
+	// WorstOutlierRate is the highest per-service outlier fraction over the
+	// watchdog window; WorstService names the service exhibiting it.
+	WorstOutlierRate float64
+	WorstService     isa.ServiceID
+}
+
+// Healthy reports whether no service is currently degraded.
+func (h Health) Healthy() bool { return h.Degraded == 0 }
+
+// Health returns the accelerator's guardrail-state summary.
+func (a *Accelerator) Health() Health {
+	h := Health{Watchdog: a.params.WatchdogThreshold > 0, Services: len(a.learners)}
+	for _, svc := range a.order {
+		l := a.learners[svc]
+		switch l.phase {
+		case phasePredicting:
+			h.Predicting++
+		case phaseDegraded:
+			h.Degraded++
+		default:
+			h.Learning++
+		}
+		h.Degrades += l.Degrades
+		if r := l.OutlierRate(); r > h.WorstOutlierRate {
+			h.WorstOutlierRate = r
+			h.WorstService = l.Svc
+		}
+	}
+	return h
 }

@@ -62,7 +62,32 @@ type Params struct {
 	// paper's §3. Finer signatures distinguish aliased behavior points at
 	// some cost in learning time and coverage.
 	MixSignature bool
+	// WatchdogThreshold, when positive, arms the divergence watchdog: once
+	// the outlier fraction over the last WatchdogWindow predictions reaches
+	// the threshold, the learner degrades back to detailed simulation and
+	// only re-arms prediction after re-learning converges (new observations
+	// matching the rebuilt table). 0 (the default) disables the watchdog,
+	// preserving the paper's strategy behavior exactly.
+	WatchdogThreshold float64
+	// WatchdogWindow is the prediction span the outlier fraction is evaluated
+	// over (default: MovingWindow).
+	WatchdogWindow int
 }
+
+// DefaultWatchdogThreshold is the guardrail configuration fsbench and the
+// fault experiments arm: degrade a service once 15% of its recent
+// predictions were outliers. Healthy steady-state workloads stay in the low
+// single digits (the paper captures >= 97% of behavior by design: PMin 3%),
+// so this trips only under genuine behavior drift.
+const DefaultWatchdogThreshold = 0.15
+
+// DefaultWatchdogWindow is the prediction span the armed watchdog evaluates
+// the outlier fraction over. Deliberately shorter than the strategies'
+// MovingWindow (100): the watchdog is a burst detector — a fault that shifts
+// a service's behavior produces a dense run of outliers — and a short window
+// both reacts faster and fills (the rate is only meaningful over a full
+// window) for services with modest invocation counts.
+const DefaultWatchdogWindow = 40
 
 // DefaultParams returns the paper's configuration: Statistical strategy,
 // p_min = 3%, 95% confidence (learning window ~100), ±5% scaled clusters,
@@ -94,6 +119,10 @@ const (
 	phaseWarmup phase = iota
 	phaseLearning
 	phasePredicting
+	// phaseDegraded is the watchdog's fallback state: prediction diverged, so
+	// every instance runs detailed again until the rebuilt table matches the
+	// service's current behavior (see Observe's re-arm test).
+	phaseDegraded
 )
 
 // outlierEntry is a special PLT entry for a signature cluster observed
@@ -134,11 +163,25 @@ type Learner struct {
 	outliers  []*outlierEntry
 	nextOutID int
 
+	// Divergence watchdog (Params.WatchdogThreshold > 0): a ring of the last
+	// WatchdogWindow prediction outcomes (true = outlier) whose running sum
+	// trips the degrade transition.
+	wdRing []bool
+	wdPos  int
+	wdLen  int
+	wdOut  int
+	// Degraded-phase re-arm bookkeeping: of the last holdLeft observations,
+	// how many matched the (rebuilding) table.
+	holdLeft     int
+	rearmSeen    int
+	rearmMatched int
+
 	// Counters for evaluation.
 	Learned   int64 // instances fully simulated and recorded
 	Predicted int64 // instances fast-forwarded
 	Outliers  int64 // predicted instances with no in-range cluster
 	Relearns  int64 // re-learning periods triggered
+	Degrades  int64 // watchdog degrade transitions
 
 	// CPI estimation over all observed (detailed) instances; drives the
 	// machine's virtual clock during fast-forwarded intervals.
@@ -158,6 +201,16 @@ func NewLearner(svc isa.ServiceID, p Params) *Learner {
 	for i := range l.ring {
 		l.ring[i] = -1
 	}
+	if p.WatchdogThreshold > 0 {
+		w := p.WatchdogWindow
+		if w <= 0 {
+			w = p.MovingWindow
+		}
+		if w <= 0 {
+			w = 100
+		}
+		l.wdRing = make([]bool, w)
+	}
 	return l
 }
 
@@ -167,7 +220,63 @@ func (l *Learner) WantDetailed() bool { return l.phase != phasePredicting }
 
 // Phase returns a human-readable phase name (diagnostics).
 func (l *Learner) Phase() string {
-	return [...]string{"warmup", "learning", "predicting"}[l.phase]
+	return [...]string{"warmup", "learning", "predicting", "degraded"}[l.phase]
+}
+
+// OutlierRate returns the outlier fraction over the watchdog window (0 while
+// the watchdog is disabled or its window has not filled yet).
+func (l *Learner) OutlierRate() float64 {
+	if l.wdLen == 0 {
+		return 0
+	}
+	return float64(l.wdOut) / float64(l.wdLen)
+}
+
+// wdPush records one prediction outcome in the watchdog ring.
+func (l *Learner) wdPush(outlier bool) {
+	if len(l.wdRing) == 0 {
+		return
+	}
+	if l.wdLen == len(l.wdRing) {
+		if l.wdRing[l.wdPos] {
+			l.wdOut--
+		}
+	} else {
+		l.wdLen++
+	}
+	l.wdRing[l.wdPos] = outlier
+	if outlier {
+		l.wdOut++
+	}
+	l.wdPos = (l.wdPos + 1) % len(l.wdRing)
+}
+
+// wdTripped reports whether the full watchdog window's outlier fraction has
+// reached the configured threshold.
+func (l *Learner) wdTripped() bool {
+	return l.wdLen == len(l.wdRing) && len(l.wdRing) > 0 &&
+		float64(l.wdOut)/float64(l.wdLen) >= l.params.WatchdogThreshold
+}
+
+// wdReset clears the watchdog ring (on degrade, so the re-armed predictor
+// starts with a clean window).
+func (l *Learner) wdReset() {
+	for i := range l.wdRing {
+		l.wdRing[i] = false
+	}
+	l.wdPos, l.wdLen, l.wdOut = 0, 0, 0
+}
+
+// degrade is the watchdog transition: back to detailed simulation, with the
+// accumulated outlier entries discarded — they describe behavior the rebuilt
+// table is about to capture properly.
+func (l *Learner) degrade() {
+	l.phase = phaseDegraded
+	l.holdLeft = l.params.Window()
+	l.rearmSeen, l.rearmMatched = 0, 0
+	l.outliers = nil
+	l.Degrades++
+	l.wdReset()
 }
 
 func (l *Learner) pushRing(outID int16) {
@@ -244,6 +353,27 @@ func (l *Learner) Observe(sig Signature, m *machine.Measurement) {
 		if l.learnLeft <= 0 {
 			l.phase = phasePredicting
 		}
+	case phaseDegraded:
+		// Watchdog fallback: re-learn in detail and test convergence — the
+		// fraction of recent observations the rebuilt table already matches.
+		// Prediction re-arms only once the table tracks current behavior; a
+		// service that keeps drifting stays (accurately) detailed.
+		matched := l.Table.Match(sig, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature) != nil
+		l.Table.Learn(sig, m, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature)
+		l.Learned++
+		l.rearmSeen++
+		if matched {
+			l.rearmMatched++
+		}
+		l.holdLeft--
+		if l.holdLeft <= 0 {
+			if float64(l.rearmMatched) >= (1-l.params.WatchdogThreshold)*float64(l.rearmSeen) {
+				l.phase = phasePredicting
+			} else {
+				l.holdLeft = l.params.Window()
+				l.rearmSeen, l.rearmMatched = 0, 0
+			}
+		}
 	default:
 		// Detailed instance while predicting should not happen; record it
 		// anyway — information is information.
@@ -259,11 +389,13 @@ func (l *Learner) Predict(sig Signature) *machine.Prediction {
 	l.Predicted++
 	if c := l.Table.Match(sig, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature); c != nil {
 		l.pushRing(-1)
+		l.wdPush(false)
 		return c.Perf.prediction()
 	}
 
 	// Outlier: predict from the nearest centroid, then decide re-learning.
 	l.Outliers++
+	l.wdPush(true)
 	pred := l.fallback(sig)
 	switch l.params.Strategy {
 	case BestMatch:
@@ -296,6 +428,14 @@ func (l *Learner) Predict(sig Signature) *machine.Prediction {
 				l.triggerRelearn()
 			}
 		}
+	}
+	// The divergence watchdog overrides the strategy once the outlier rate
+	// over its window crosses the threshold: whatever the strategy decided
+	// (Best-Match in particular decides nothing), fall back to detailed
+	// simulation. A strategy-triggered re-learn already left predicting mode;
+	// the watchdog only fires if the learner would otherwise keep predicting.
+	if l.phase == phasePredicting && l.wdTripped() {
+		l.degrade()
 	}
 	return pred
 }

@@ -315,6 +315,182 @@ func TestMixSignatureSeparatesAliases(t *testing.T) {
 	}
 }
 
+// newWatchdogLearner builds a learner with the divergence watchdog armed over
+// a small window so the tests can trip it with a handful of predictions.
+func newWatchdogLearner(window int, threshold float64) *Learner {
+	p := DefaultParams()
+	p.Strategy = BestMatch // no re-learning trigger of its own: watchdog-only
+	p.LearnWindow = 10
+	p.WarmupSkip = 1
+	p.WatchdogThreshold = threshold
+	p.WatchdogWindow = window
+	return NewLearner(isa.Sys(isa.SysRead), p)
+}
+
+func TestFallbackEmptyTable(t *testing.T) {
+	l := newTestLearner(BestMatch)
+	// No learning at all: the table is empty and the fallback must still
+	// produce a usable prediction (IPC 1, no misses).
+	pred := l.fallback(sig(1234))
+	if pred == nil || pred.Cycles != 1234 {
+		t.Fatalf("empty-table fallback = %+v, want Cycles=1234", pred)
+	}
+	// With a learned cluster, the fallback predicts from the nearest centroid.
+	driveWarmupAndLearning(l, 1000, 5000)
+	if pred := l.fallback(sig(40000)); pred.Cycles != 5000 {
+		t.Errorf("nearest-centroid fallback = %d, want 5000", pred.Cycles)
+	}
+}
+
+func TestTriggerRelearnResetsState(t *testing.T) {
+	l := newTestLearner(BestMatch)
+	driveWarmupAndLearning(l, 1000, 5000)
+	if l.WantDetailed() {
+		t.Fatal("learner not predicting after its window")
+	}
+	l.triggerRelearn()
+	if !l.WantDetailed() {
+		t.Fatal("triggerRelearn did not leave prediction mode")
+	}
+	if l.Relearns != 1 || l.outliers != nil || l.learnLeft != l.params.Window() {
+		t.Errorf("relearn state: relearns=%d outliers=%v learnLeft=%d",
+			l.Relearns, l.outliers, l.learnLeft)
+	}
+}
+
+// TestWatchdogDisabledByDefault: with the paper's default parameters the
+// watchdog never arms — a sustained outlier storm under Best-Match keeps
+// predicting, exactly as before the guardrail existed.
+func TestWatchdogDisabledByDefault(t *testing.T) {
+	l := newTestLearner(BestMatch)
+	driveWarmupAndLearning(l, 1000, 5000)
+	for i := 0; i < 300; i++ {
+		l.Predict(sig(40000))
+	}
+	if l.Degrades != 0 || l.WantDetailed() {
+		t.Errorf("disabled watchdog degraded: degrades=%d phase=%s", l.Degrades, l.Phase())
+	}
+	if r := l.OutlierRate(); r != 0 {
+		t.Errorf("disabled watchdog reports outlier rate %v", r)
+	}
+}
+
+// TestWatchdogRequiresFullWindow: the outlier fraction is only meaningful
+// over a complete window, so a short prediction burst — even 100% outliers —
+// must not trip the degrade transition.
+func TestWatchdogRequiresFullWindow(t *testing.T) {
+	l := newWatchdogLearner(8, 0.5)
+	driveWarmupAndLearning(l, 1000, 5000)
+	for i := 0; i < 7; i++ {
+		l.Predict(sig(40000))
+	}
+	if l.Degrades != 0 {
+		t.Fatalf("watchdog tripped on a %d-prediction burst (window 8)", 7)
+	}
+}
+
+// TestWatchdogDegradeAndRearm drives the full guardrail cycle: predicting →
+// (outlier burst) → degraded → (re-learning converges) → predicting, with the
+// rebuilt table predicting the service's new behavior.
+func TestWatchdogDegradeAndRearm(t *testing.T) {
+	l := newWatchdogLearner(8, 0.5)
+	driveWarmupAndLearning(l, 1000, 5000)
+
+	// The service's behavior shifts: every prediction is an outlier. Once the
+	// window fills, the watchdog overrides Best-Match and degrades.
+	for i := 0; i < 8; i++ {
+		if l.WantDetailed() {
+			t.Fatalf("degraded after only %d outliers", i)
+		}
+		l.Predict(sig(40000))
+	}
+	if l.Degrades != 1 || l.Phase() != "degraded" {
+		t.Fatalf("watchdog did not degrade: degrades=%d phase=%s", l.Degrades, l.Phase())
+	}
+	if !l.WantDetailed() {
+		t.Fatal("degraded learner must run detailed")
+	}
+	if l.Relearns != 0 {
+		t.Errorf("Best-Match re-learned (%d) — the watchdog should be the only trigger", l.Relearns)
+	}
+
+	// Detailed observations of the new behavior rebuild the table; once the
+	// hold window's observations match it, prediction re-arms.
+	for i := 0; i < 2*l.params.Window() && l.WantDetailed(); i++ {
+		l.Observe(sig(40000), feedMeas(40000, 99000))
+	}
+	if l.Phase() != "predicting" {
+		t.Fatalf("watchdog never re-armed: phase=%s", l.Phase())
+	}
+	if pred := l.Predict(sig(40100)); pred.Cycles != 99000 {
+		t.Errorf("re-armed prediction = %d, want the new behavior's 99000", pred.Cycles)
+	}
+	if l.OutlierRate() != 0 {
+		t.Errorf("outlier window not reset after re-arm: %v", l.OutlierRate())
+	}
+}
+
+// TestWatchdogHoldsWhileDrifting: a service whose behavior keeps changing
+// never satisfies the re-arm test and (accurately) stays detailed.
+func TestWatchdogHoldsWhileDrifting(t *testing.T) {
+	l := newWatchdogLearner(8, 0.5)
+	driveWarmupAndLearning(l, 1000, 5000)
+	for i := 0; i < 8; i++ {
+		l.Predict(sig(40000))
+	}
+	if l.Phase() != "degraded" {
+		t.Fatalf("setup failed: phase=%s", l.Phase())
+	}
+	// Every observation lands somewhere new: nothing matches the table.
+	v := uint64(50000)
+	for i := 0; i < 3*l.params.Window(); i++ {
+		l.Observe(sig(v), feedMeas(v, 10*v))
+		v += v / 2
+	}
+	if l.Phase() != "degraded" {
+		t.Errorf("drifting service re-armed prediction: phase=%s", l.Phase())
+	}
+}
+
+// TestAcceleratorHealth surfaces the guardrail state machine through the
+// public Health summary.
+func TestAcceleratorHealth(t *testing.T) {
+	p := DefaultParams()
+	p.Strategy = BestMatch
+	p.LearnWindow = 4
+	p.WarmupSkip = 1
+	p.WatchdogThreshold = 0.5
+	p.WatchdogWindow = 4
+	a := NewAccelerator(p)
+	svc := isa.Sys(isa.SysRead)
+	for i := 0; i < 5; i++ {
+		a.OnServiceEnd(svc, sig(1000), feedMeas(1000, 5000))
+	}
+	h := a.Health()
+	if !h.Watchdog || h.Services != 1 || h.Predicting != 1 || !h.Healthy() {
+		t.Fatalf("post-learning health = %+v", h)
+	}
+	for i := 0; i < 2; i++ {
+		a.OnServiceEnd(svc, sig(40000), nil)
+	}
+	// Mid-burst: outliers accumulating but the window has not filled.
+	h = a.Health()
+	if h.WorstOutlierRate == 0 || h.WorstService != svc {
+		t.Errorf("mid-burst worst = %.2f/%v, want >0/%v", h.WorstOutlierRate, h.WorstService, svc)
+	}
+	for i := 0; i < 2; i++ {
+		a.OnServiceEnd(svc, sig(40000), nil)
+	}
+	h = a.Health()
+	if h.Healthy() || h.Degraded != 1 || h.Degrades != 1 {
+		t.Fatalf("post-burst health = %+v", h)
+	}
+	rep := a.Report()
+	if len(rep) != 1 || rep[0].Phase != "degraded" || rep[0].Degrades != 1 {
+		t.Errorf("report row = %+v", rep)
+	}
+}
+
 // TestMixSignatureToleratesJitter: small mix variations must still match.
 func TestMixSignatureToleratesJitter(t *testing.T) {
 	var plt PLT

@@ -41,6 +41,30 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestFaultedDeterminism extends the parallelism contract to perturbed runs:
+// a config with a fault plan injected into every simulation must still render
+// byte-identically at any -j, because the plan is a pure function of the base
+// seed and the spec — never of scheduling order or wall-clock time.
+func TestFaultedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: runs a faulted experiment twice")
+	}
+	render := func(parallelism int) string {
+		t.Helper()
+		mc := ReferenceModeCosts
+		cfg := Config{Scale: 0.1, Seed: 1, Parallelism: parallelism, ModeCosts: &mc, FaultPlan: "mild"}
+		res, err := Run("fig11", cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return res.StableRender()
+	}
+	if serial, parallel := render(1), render(8); serial != parallel {
+		t.Errorf("faulted fig11 renders differently at parallelism 1 vs 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
 // TestSchedulerCoalescesDuplicates asserts the memo layer's accounting: a
 // suite-wide run must simulate each distinct RunKey exactly once, and every
 // repeated request must be served from cache.

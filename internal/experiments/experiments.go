@@ -14,6 +14,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"fssim/internal/faults"
 	"fssim/internal/machine"
 )
 
@@ -37,8 +40,37 @@ type Config struct {
 	// golden and determinism tests use (see ReferenceModeCosts).
 	ModeCosts *ModeCosts
 
-	sched *Scheduler // shared memo cache + worker pool (set by Run/RunAll)
-	stats *expStats  // per-experiment cache-hit/timing attribution
+	// Timeout bounds each simulation's wall-clock time; 0 means unlimited.
+	// A run that exceeds it is aborted cooperatively and reported as a
+	// per-run *RunError with Timeout set.
+	Timeout time.Duration
+	// Retries is how many extra attempts a failed run gets, each with a
+	// fresh derived seed (RunKey.AttemptSeed). 0 means fail on first error.
+	Retries int
+	// FaultPlan names a faults.Named perturbation plan injected into every
+	// simulation ("" = none). Enabling it changes every RunKey, so faulted
+	// and unfaulted runs never share cache entries.
+	FaultPlan string
+
+	ctx   context.Context // suite-wide cancellation (WithContext)
+	sched *Scheduler      // shared memo cache + worker pool (set by Run/RunAll)
+	stats *expStats       // per-experiment cache-hit/timing attribution
+}
+
+// WithContext returns the config with a cancellation context attached: when
+// ctx is canceled, in-flight simulations abort cooperatively and pending
+// ones never start. Attach before building a Scheduler.
+func (c Config) WithContext(ctx context.Context) Config {
+	c.ctx = ctx
+	return c
+}
+
+// context returns the attached context, defaulting to Background.
+func (c Config) context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig runs at full default workload scale.
@@ -63,6 +95,14 @@ func (c Config) normalized() Config {
 func (c Config) validate() error {
 	if c.Seed < 0 {
 		return fmt.Errorf("experiments: seed must be non-negative, got %d", c.Seed)
+	}
+	if c.Retries < 0 {
+		return fmt.Errorf("experiments: retries must be non-negative, got %d", c.Retries)
+	}
+	if c.FaultPlan != "" {
+		if _, err := faults.Named(c.FaultPlan); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
 	}
 	return nil
 }
@@ -147,6 +187,8 @@ func init() {
 		"fig12": {"Prediction error across L2 sizes (1MB/2MB/4MB)", Fig12, fig12Needs},
 		"tab1":  {"Simulation-mode slowdown ratios (measured wall-clock)", Table1, nil},
 		"tab2":  {"Estimated simulation speedups (Eq 10)", Table2, tab2Needs},
+		"faults": {"Re-learning strategies and the divergence watchdog under injected faults",
+			FaultsExp, faultsExpNeeds},
 	}
 }
 
@@ -166,8 +208,11 @@ func orderKey(id string) int {
 		fmt.Sscanf(id, "fig%d", &n)
 		return n
 	}
-	fmt.Sscanf(id, "tab%d", &n)
-	return 100 + n
+	if strings.HasPrefix(id, "tab") {
+		fmt.Sscanf(id, "tab%d", &n)
+		return 100 + n
+	}
+	return 200 // extensions beyond the paper's artifacts sort last
 }
 
 // Title returns an experiment's title, or an error for unknown ids (instead
@@ -239,7 +284,10 @@ func RunAll(ids []string, cfg Config) ([]*Result, error) {
 }
 
 // RunMany executes several experiments concurrently over the scheduler's
-// shared cache, returning results in input order.
+// shared cache, returning results in input order. One failing experiment no
+// longer voids the suite: its slot in the result slice is nil and its error
+// is joined into the returned error, while every other experiment's result
+// is still returned — callers render what succeeded and report what failed.
 func (s *Scheduler) RunMany(ids []string) ([]*Result, error) {
 	results := make([]*Result, len(ids))
 	errs := make([]error, len(ids))
@@ -252,12 +300,7 @@ func (s *Scheduler) RunMany(ids []string) ([]*Result, error) {
 		}(i, id)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return results, errors.Join(errs...)
 }
 
 // --- shared run helpers ----------------------------------------------------

@@ -12,8 +12,9 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden-table files un
 // goldenIDs is the representative subset whose rendered output is pinned:
 // a baseline divergence figure (fig1), the two characterization summaries
 // clustering feeds (fig6), the closed-form learning window (fig7), the
-// strategy comparison (fig11), and the Eq-10 speedup table (tab2).
-var goldenIDs = []string{"fig1", "fig6", "fig7", "fig11", "tab2"}
+// strategy comparison (fig11), the Eq-10 speedup table (tab2), and the
+// fault-injection robustness study (faults).
+var goldenIDs = []string{"fig1", "fig6", "fig7", "fig11", "tab2", "faults"}
 
 // goldenConfig is the pinned small-scale configuration the files were
 // rendered under. Mode costs are pinned so tab2 doesn't time the host.

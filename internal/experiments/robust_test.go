@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fssim/internal/kernel"
+	"fssim/internal/machine"
+	"fssim/internal/workload"
+)
+
+// The misbehaving benchmarks the robustness tests run. Hidden keeps them out
+// of workload.Names(), so the paper-artifact experiments (which enumerate the
+// benchmark set) never pick them up even though they share this test binary.
+func init() {
+	workload.Register(workload.Benchmark{
+		Name: "panic-test", Hidden: true,
+		Description: "deliberately panics mid-simulation",
+	}, func(k *kernel.Kernel, scale float64) {
+		k.Spawn("boom", func(p *kernel.Proc) {
+			p.U.Mix(500)
+			panic("deliberate test panic")
+		})
+	})
+	workload.Register(workload.Benchmark{
+		Name: "hang-test", Hidden: true,
+		Description: "spins forever; only a timeout ends it",
+	}, func(k *kernel.Kernel, scale float64) {
+		k.Spawn("spin", func(p *kernel.Proc) {
+			for {
+				p.U.Mix(10_000)
+			}
+		})
+	})
+	workload.Register(workload.Benchmark{
+		Name: "ok-test", Hidden: true,
+		Description: "small well-behaved control workload",
+	}, func(k *kernel.Kernel, scale float64) {
+		k.Spawn("ok", func(p *kernel.Proc) {
+			p.U.Mix(50_000)
+		})
+	})
+}
+
+func TestHiddenBenchmarksStayOutOfNames(t *testing.T) {
+	for _, n := range workload.Names() {
+		if strings.HasSuffix(n, "-test") {
+			t.Fatalf("hidden benchmark %q leaked into Names()", n)
+		}
+	}
+	if _, err := workload.Lookup("panic-test"); err != nil {
+		t.Fatalf("hidden benchmark not runnable: %v", err)
+	}
+	if _, err := workload.Lookup("nope"); !errors.Is(err, workload.ErrUnknown) {
+		t.Errorf("Lookup error does not wrap ErrUnknown: %v", err)
+	}
+}
+
+// TestPanicIsolation is the crash-proofing contract: a benchmark that panics
+// mid-simulation yields a per-run *RunError — it does not take down the
+// scheduler, and other runs on the same scheduler complete normally.
+func TestPanicIsolation(t *testing.T) {
+	s := NewScheduler(Config{Scale: 1, Seed: 1, Parallelism: 2})
+	_, err := s.Get(s.cfg.benchKey("panic-test", machine.FullSystem, 0))
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %T: %v", err, err)
+	}
+	if re.Attempts != 1 || re.Timeout {
+		t.Errorf("unexpected RunError shape: %+v", re)
+	}
+	if !strings.Contains(err.Error(), "deliberate test panic") {
+		t.Errorf("error lost the panic cause: %v", err)
+	}
+	// The same scheduler still serves healthy runs.
+	res, err := s.Get(s.cfg.benchKey("ok-test", machine.FullSystem, 0))
+	if err != nil {
+		t.Fatalf("healthy run failed after a panicked one: %v", err)
+	}
+	if res.Stats.Cycles == 0 {
+		t.Error("healthy run produced no cycles")
+	}
+	if st := s.Stats(); st.Failures != 1 {
+		t.Errorf("Failures = %d, want 1", st.Failures)
+	}
+}
+
+// TestEvictOnFailure: a failed run must not poison the memo cache — the next
+// Get for the same key re-executes instead of replaying the stored error.
+func TestEvictOnFailure(t *testing.T) {
+	s := NewScheduler(Config{Scale: 1, Seed: 1, Parallelism: 1})
+	key := s.cfg.benchKey("panic-test", machine.FullSystem, 0)
+	if _, err := s.Get(key); err == nil {
+		t.Fatal("panicking run succeeded")
+	}
+	if _, err := s.Get(key); err == nil {
+		t.Fatal("panicking run succeeded on re-get")
+	}
+	st := s.Stats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("failed entry was cached: misses=%d hits=%d", st.Misses, st.Hits)
+	}
+	if st.Distinct != 0 {
+		t.Errorf("failed entries still memoized: distinct=%d", st.Distinct)
+	}
+}
+
+// TestRetriesUseFreshSeeds: each retry attempt re-runs the workload with a
+// distinct derived machine seed, and the attempts are accounted.
+func TestRetriesUseFreshSeeds(t *testing.T) {
+	var seeds []int64
+	workload.Register(workload.Benchmark{
+		Name: "retry-test", Hidden: true,
+	}, func(k *kernel.Kernel, scale float64) {
+		seeds = append(seeds, k.Machine().Config().Seed)
+		panic("always fails")
+	})
+	s := NewScheduler(Config{Scale: 1, Seed: 1, Parallelism: 1, Retries: 2})
+	key := s.cfg.benchKey("retry-test", machine.FullSystem, 0)
+	_, err := s.Get(key)
+	var re *RunError
+	if !errors.As(err, &re) || re.Attempts != 3 {
+		t.Fatalf("want 3 attempts, got %v", err)
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("workload built %d times, want 3", len(seeds))
+	}
+	if seeds[0] != key.AttemptSeed(0) || seeds[1] != key.AttemptSeed(1) || seeds[2] != key.AttemptSeed(2) {
+		t.Errorf("attempt seeds not derived: %v", seeds)
+	}
+	if seeds[0] == seeds[1] || seeds[1] == seeds[2] || seeds[0] == seeds[2] {
+		t.Errorf("retry seeds not fresh: %v", seeds)
+	}
+	if st := s.Stats(); st.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", st.Retries)
+	}
+}
+
+func TestAttemptSeedDerivation(t *testing.T) {
+	key := Config{Scale: 1, Seed: 1}.benchKey("du", machine.FullSystem, 0)
+	if key.AttemptSeed(0) != key.DeriveSeed() {
+		t.Error("attempt 0 must reuse the canonical derived seed")
+	}
+	if key.AttemptSeed(1) == key.AttemptSeed(0) || key.AttemptSeed(2) == key.AttemptSeed(1) {
+		t.Error("retry seeds collide")
+	}
+	if key.AttemptSeed(1) != key.AttemptSeed(1) {
+		t.Error("retry seed not deterministic")
+	}
+	// Faulted keys derive different seeds; unfaulted derivation is unchanged
+	// by the existence of the Faults field (byte-identity guarantee).
+	if key.withFaults("mild").DeriveSeed() == key.DeriveSeed() {
+		t.Error("fault plan does not separate derived seeds")
+	}
+}
+
+// TestPerRunTimeout: a hanging simulation is aborted at the configured
+// deadline and reported as a timeout, not as a generic failure.
+func TestPerRunTimeout(t *testing.T) {
+	s := NewScheduler(Config{Scale: 1, Seed: 1, Parallelism: 1, Timeout: 50 * time.Millisecond})
+	_, err := s.Get(s.cfg.benchKey("hang-test", machine.FullSystem, 0))
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RunError, got %T: %v", err, err)
+	}
+	if !re.Timeout {
+		t.Errorf("timeout not flagged: %+v", re)
+	}
+	if !errors.Is(err, machine.ErrCanceled) {
+		t.Errorf("cause chain lost machine.ErrCanceled: %v", err)
+	}
+}
+
+// TestContextCancellation: canceling the suite context aborts in-flight runs
+// and fails fast without burning retries.
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Config{Scale: 1, Seed: 1, Parallelism: 1, Retries: 5}.WithContext(ctx)
+	s := NewScheduler(cfg)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Get(s.cfg.benchKey("hang-test", machine.FullSystem, 0))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled run reported success")
+		}
+		if st := s.Stats(); st.Retries != 0 {
+			t.Errorf("cancellation burned %d retries", st.Retries)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not end the run")
+	}
+}
+
+// TestRunManyPartialResults: one failing experiment yields a nil slot and a
+// joined error while the other experiments' results come back intact.
+func TestRunManyPartialResults(t *testing.T) {
+	registry["zz-fail"] = runner{
+		title: "always fails (test)",
+		fn: func(Config) (*Result, error) {
+			return nil, errors.New("synthetic experiment failure")
+		},
+	}
+	defer delete(registry, "zz-fail")
+	s := NewScheduler(Config{Scale: 1, Seed: 1, Parallelism: 2})
+	results, err := s.RunMany([]string{"fig7", "zz-fail"})
+	if err == nil {
+		t.Fatal("failing experiment not reported")
+	}
+	if !strings.Contains(err.Error(), "synthetic experiment failure") {
+		t.Errorf("joined error lost the cause: %v", err)
+	}
+	if results[0] == nil || results[0].ID != "fig7" {
+		t.Error("healthy experiment result lost")
+	}
+	if results[1] != nil {
+		t.Error("failed experiment produced a result")
+	}
+}
+
+// TestFaultsGoldenOrdering guards the faults artifact's headline claim using
+// the pinned golden (no re-simulation): under the storm plan, every
+// re-learning strategy's average absolute cycle error is at most Best-Match's
+// (which has no re-learning trigger of its own), and at least one recovers a
+// strictly lower error.
+func TestFaultsGoldenOrdering(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "faults.golden"))
+	if err != nil {
+		t.Fatalf("faults golden missing (generate with -update): %v", err)
+	}
+	avg := make(map[string]float64)
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 4 && fields[0] == "average" {
+			var v float64
+			if _, err := fmt.Sscanf(fields[3], "%f%%", &v); err != nil {
+				t.Fatalf("unparseable average row %q: %v", line, err)
+			}
+			avg[fields[1]] = v
+		}
+	}
+	base, ok := avg["Best-Match"]
+	if !ok {
+		t.Fatalf("no Best-Match average row in golden: %v", avg)
+	}
+	better := false
+	for _, strat := range []string{"Statistical", "Delayed", "Eager"} {
+		v, ok := avg[strat]
+		if !ok {
+			t.Fatalf("no %s average row in golden: %v", strat, avg)
+		}
+		if v > base {
+			t.Errorf("%s average error %.1f%% exceeds Best-Match's %.1f%%", strat, v, base)
+		}
+		if v < base {
+			better = true
+		}
+	}
+	if !better {
+		t.Errorf("no re-learning strategy beat Best-Match under faults: %v", avg)
+	}
+}

@@ -1,14 +1,18 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fssim/internal/core"
+	"fssim/internal/faults"
 	"fssim/internal/machine"
 	"fssim/internal/workload"
 )
@@ -25,16 +29,29 @@ type RunKey struct {
 	Scale float64
 	Seed  int64 // the config's base seed; the run's machine seed is derived
 	// OptsHash discriminates option variants beyond (mode, L2). For
-	// Accelerated runs it encodes the re-learning strategy as
-	// uint64(strategy)+1; it is 0 for plain detailed/app-only runs.
+	// Accelerated runs the low byte encodes the re-learning strategy as
+	// uint64(strategy)+1 (0 for plain detailed/app-only runs); the
+	// watchdogOpt bit arms the divergence watchdog.
 	OptsHash uint64
+	// Faults names a faults.Named plan injected into the run ("" = none).
+	// The plan is derived from the config's base Seed, not the per-run
+	// machine seed, so every mode and strategy of one config experiences
+	// the identical fault schedule and stays comparable.
+	Faults string
 }
+
+// watchdogOpt is the OptsHash bit arming the prediction-divergence watchdog
+// on an Accelerated run. It sits above the low strategy byte.
+const watchdogOpt uint64 = 1 << 8
 
 // String renders the key compactly for notes and error messages.
 func (k RunKey) String() string {
 	s := fmt.Sprintf("%s/%s/L2=%d/scale=%g", k.Bench, k.Mode, k.L2, k.Scale)
 	if k.OptsHash != 0 {
 		s += fmt.Sprintf("/opts=%d", k.OptsHash)
+	}
+	if k.Faults != "" {
+		s += "/faults=" + k.Faults
 	}
 	return s
 }
@@ -48,6 +65,12 @@ func (k RunKey) DeriveSeed() int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%d|%d|%x|%d|%d",
 		k.Bench, k.Mode, k.L2, math.Float64bits(k.Scale), k.Seed, k.OptsHash)
+	// Appended only for faulted keys so unfaulted runs keep the seeds (and
+	// therefore the byte-identical tables) they had before fault injection
+	// existed.
+	if k.Faults != "" {
+		fmt.Fprintf(h, "|faults=%s", k.Faults)
+	}
 	s := int64(h.Sum64() &^ (1 << 63)) // keep it non-negative for readability
 	if s == 0 {
 		s = 1
@@ -55,8 +78,32 @@ func (k RunKey) DeriveSeed() int64 {
 	return s
 }
 
+// AttemptSeed is the machine seed for the given retry attempt: attempt 0 is
+// DeriveSeed itself (preserving established results); each retry derives a
+// fresh seed so a failure tied to one random trajectory is not replayed
+// verbatim. Still a pure function of (key, attempt) — retries are as
+// deterministic as first attempts.
+func (k RunKey) AttemptSeed(attempt int) int64 {
+	if attempt <= 0 {
+		return k.DeriveSeed()
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|retry=%d", k.DeriveSeed(), attempt)
+	s := int64(h.Sum64() &^ (1 << 63))
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
 // accelStrategy recovers the re-learning strategy an Accelerated key encodes.
-func (k RunKey) accelStrategy() core.Strategy { return core.Strategy(k.OptsHash - 1) }
+func (k RunKey) accelStrategy() core.Strategy { return core.Strategy(k.OptsHash&0xff - 1) }
+
+// withFaults returns the key with the named fault plan applied.
+func (k RunKey) withFaults(plan string) RunKey { k.Faults = plan; return k }
+
+// withWatchdog returns the key with the divergence watchdog armed.
+func (k RunKey) withWatchdog() RunKey { k.OptsHash |= watchdogOpt; return k }
 
 // runOutput is everything a memoized run yields. Full-system runs always
 // carry a Profiler (characterization is free to record and lets Figs 3-6
@@ -82,11 +129,34 @@ type runEntry struct {
 
 // SchedStats is the scheduler's aggregate view of work performed and saved.
 type SchedStats struct {
-	Distinct int           // distinct simulations executed
+	Distinct int           // distinct simulations currently memoized
 	Hits     int64         // Get calls served from cache (or coalesced in-flight)
 	Misses   int64         // Get calls that executed a new simulation
+	Failures int64         // runs that exhausted their attempts and failed
+	Retries  int64         // extra attempts after a failed first try
 	SimWall  time.Duration // summed wall-clock of executed simulations
 }
+
+// RunError describes one simulation's final failure: which run, how many
+// attempts it was given, whether the last attempt hit the per-run timeout,
+// and the underlying cause (a workload panic converted to an error, a
+// machine abort, or a context cancellation).
+type RunError struct {
+	Key      RunKey
+	Attempts int
+	Timeout  bool
+	Cause    error
+}
+
+func (e *RunError) Error() string {
+	what := "failed"
+	if e.Timeout {
+		what = "timed out"
+	}
+	return fmt.Sprintf("run %s %s after %d attempt(s): %v", e.Key, what, e.Attempts, e.Cause)
+}
+
+func (e *RunError) Unwrap() error { return e.Cause }
 
 // Scheduler memoizes simulation runs keyed by RunKey and executes distinct
 // runs on a bounded worker pool. Concurrent requests for the same key are
@@ -102,9 +172,11 @@ type Scheduler struct {
 	costsOnce sync.Once
 	costs     ModeCosts
 
-	hits    atomic.Int64
-	misses  atomic.Int64
-	simWall atomic.Int64 // nanoseconds
+	hits     atomic.Int64
+	misses   atomic.Int64
+	failures atomic.Int64
+	retries  atomic.Int64
+	simWall  atomic.Int64 // nanoseconds
 }
 
 // NewScheduler builds a scheduler for cfg; cfg is normalized first, so a
@@ -130,13 +202,15 @@ func (s *Scheduler) Stats() SchedStats {
 		Distinct: n,
 		Hits:     s.hits.Load(),
 		Misses:   s.misses.Load(),
+		Failures: s.failures.Load(),
+		Retries:  s.retries.Load(),
 		SimWall:  time.Duration(s.simWall.Load()),
 	}
 }
 
 // Get runs (or returns the memoized result of) the simulation key describes.
 func (s *Scheduler) Get(key RunKey) (workload.Result, error) {
-	out, err := s.get(key, nil)
+	out, err := s.get(s.cfg.context(), key, nil)
 	return out.res, err
 }
 
@@ -149,15 +223,19 @@ func (s *Scheduler) Prefetch(keys ...RunKey) { s.prefetch(nil, keys...) }
 // prefetch is Prefetch with per-experiment stat attribution: simulations the
 // prefetch starts are credited to st, not miscounted later as cache hits.
 func (s *Scheduler) prefetch(st *expStats, keys ...RunKey) {
+	ctx := s.cfg.context()
 	for _, key := range keys {
 		key := key
-		go func() { _, _ = s.get(key, st) }()
+		go func() { _, _ = s.get(ctx, key, st) }()
 	}
 }
 
 // get is the memoizing core. st, when non-nil, receives per-experiment
-// hit/miss attribution for the requesting runner's notes.
-func (s *Scheduler) get(key RunKey, st *expStats) (runOutput, error) {
+// hit/miss attribution for the requesting runner's notes. Failed runs are
+// evicted from the cache once their waiters are released, so one poisoned
+// entry does not pin its error for the scheduler's remaining lifetime — a
+// later Get retries from scratch.
+func (s *Scheduler) get(ctx context.Context, key RunKey, st *expStats) (runOutput, error) {
 	s.mu.Lock()
 	e, ok := s.runs[key]
 	if ok {
@@ -166,7 +244,11 @@ func (s *Scheduler) get(key RunKey, st *expStats) (runOutput, error) {
 		if st != nil && e.creator != st {
 			st.hits.Add(1)
 		}
-		<-e.done
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return runOutput{}, ctx.Err()
+		}
 		return e.out, e.err
 	}
 	e = &runEntry{done: make(chan struct{}), creator: st}
@@ -177,9 +259,15 @@ func (s *Scheduler) get(key RunKey, st *expStats) (runOutput, error) {
 		st.misses.Add(1)
 	}
 
-	s.slots <- struct{}{}
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		e.err = ctx.Err()
+		s.finish(key, e, st)
+		return e.out, e.err
+	}
 	start := time.Now()
-	e.out, e.err = s.execute(key)
+	e.out, e.err = s.execute(ctx, key)
 	e.wall = time.Since(start)
 	<-s.slots
 
@@ -187,20 +275,96 @@ func (s *Scheduler) get(key RunKey, st *expStats) (runOutput, error) {
 	if st != nil {
 		st.simWall.Add(int64(e.wall))
 	}
-	close(e.done)
+	s.finish(key, e, st)
 	return e.out, e.err
 }
 
-// execute builds and runs the simulation a key fully describes.
-func (s *Scheduler) execute(key RunKey) (runOutput, error) {
+// finish publishes an entry's result and evicts it on failure.
+func (s *Scheduler) finish(key RunKey, e *runEntry, st *expStats) {
+	close(e.done)
+	if e.err == nil {
+		return
+	}
+	s.failures.Add(1)
+	if st != nil {
+		st.failures.Add(1)
+	}
+	s.mu.Lock()
+	if s.runs[key] == e {
+		delete(s.runs, key)
+	}
+	s.mu.Unlock()
+}
+
+// execute runs the simulation a key describes, retrying failed attempts (up
+// to cfg.Retries extra tries) with fresh derived seeds. Context cancellation
+// is terminal: a canceled suite does not burn retries.
+func (s *Scheduler) execute(ctx context.Context, key RunKey) (runOutput, error) {
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			s.retries.Add(1)
+		}
+		out, err := s.executeOnce(ctx, key, attempt)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = &RunError{
+			Key:      key,
+			Attempts: attempt + 1,
+			Timeout:  isTimeout(ctx, err),
+			Cause:    err,
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return runOutput{}, lastErr
+}
+
+// isTimeout reports whether err is a per-run deadline rather than a suite
+// cancellation: the run was aborted but the surrounding context is live.
+func isTimeout(ctx context.Context, err error) bool {
+	return ctx.Err() == nil &&
+		(errors.Is(err, machine.ErrCanceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// executeOnce builds and runs one attempt of the simulation a key fully
+// describes. A panic escaping the workload's own recovery (e.g. out of a
+// Prepare hook) is converted to an error here, so a broken run can never
+// take down the scheduler's worker or the whole suite.
+func (s *Scheduler) executeOnce(ctx context.Context, key RunKey, attempt int) (out runOutput, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("run %s: panic: %v\n%s", key, r, debug.Stack())
+		}
+	}()
 	opts := workload.DefaultOptions()
 	opts.Scale = key.Scale
 	opts.Machine.Mode = key.Mode
-	opts.Machine.Seed = key.DeriveSeed()
+	opts.Machine.Seed = key.AttemptSeed(attempt)
 	if key.L2 > 0 {
 		opts.Machine.Mem = opts.Machine.Mem.WithL2Size(key.L2)
 	}
-	var out runOutput
+	if key.Faults != "" {
+		spec, ferr := faults.Named(key.Faults)
+		if ferr != nil {
+			return out, ferr
+		}
+		// Seeded by the config's base seed: every run of this config sees
+		// the same schedule regardless of mode, strategy or retry attempt.
+		plan := faults.NewPlan(key.Seed, spec.Scaled(key.Scale))
+		opts.Prepare = plan.Install
+	}
+	if s.cfg.Timeout > 0 || ctx.Done() != nil {
+		runCtx := ctx
+		if s.cfg.Timeout > 0 {
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+			defer cancel()
+		}
+		opts.Cancel = runCtx.Done()
+	}
 	switch key.Mode {
 	case machine.FullSystem:
 		out.prof = core.NewProfiler()
@@ -208,6 +372,10 @@ func (s *Scheduler) execute(key RunKey) (runOutput, error) {
 	case machine.Accelerated:
 		params := core.DefaultParams()
 		params.Strategy = key.accelStrategy()
+		if key.OptsHash&watchdogOpt != 0 {
+			params.WatchdogThreshold = core.DefaultWatchdogThreshold
+			params.WatchdogWindow = core.DefaultWatchdogWindow
+		}
 		out.acc = core.NewAccelerator(params)
 		opts.Sink = out.acc
 	}
@@ -244,7 +412,7 @@ func (c Config) benchKey(name string, mode machine.SimMode, l2 int) RunKey {
 	if l2 == defaultL2() {
 		l2 = 0
 	}
-	return RunKey{Bench: name, Mode: mode, L2: l2, Scale: c.Scale, Seed: c.Seed}
+	return RunKey{Bench: name, Mode: mode, L2: l2, Scale: c.Scale, Seed: c.Seed, Faults: c.FaultPlan}
 }
 
 // accelKey is the cache key for an Accelerated run under the given
@@ -261,15 +429,20 @@ func (c Config) accelKey(name string, strat core.Strategy, l2 int) RunKey {
 // "harness:" note: how many of its requests were fresh simulations versus
 // cache hits, and how much simulation wall-clock its fresh runs cost.
 type expStats struct {
-	hits    atomic.Int64
-	misses  atomic.Int64
-	simWall atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	failures atomic.Int64
+	simWall  atomic.Int64
 }
 
 func (st *expStats) note(wall time.Duration, parallelism int) string {
 	h, m := st.hits.Load(), st.misses.Load()
-	return fmt.Sprintf("harness: %d runs (%d simulated, %d cache hits), sim %.1fs, wall %.1fs, parallelism %d",
+	s := fmt.Sprintf("harness: %d runs (%d simulated, %d cache hits), sim %.1fs, wall %.1fs, parallelism %d",
 		h+m, m, h, time.Duration(st.simWall.Load()).Seconds(), wall.Seconds(), parallelism)
+	if f := st.failures.Load(); f > 0 {
+		s += fmt.Sprintf(", %d failed", f)
+	}
+	return s
 }
 
 // --- runner-facing helpers --------------------------------------------------
@@ -277,15 +450,22 @@ func (st *expStats) note(wall time.Duration, parallelism int) string {
 // runBench returns the (memoized) result of one benchmark under the given
 // machine mode and L2 size.
 func runBench(cfg Config, name string, mode machine.SimMode, l2 int) (workload.Result, error) {
-	out, err := cfg.sched.get(cfg.benchKey(name, mode, l2), cfg.stats)
+	out, err := cfg.sched.get(cfg.context(), cfg.benchKey(name, mode, l2), cfg.stats)
 	return out.res, err
+}
+
+// getKey resolves an explicit key through the config's scheduler — for
+// runners (like the faults experiment) that build keys beyond the standard
+// benchKey/accelKey variants.
+func getKey(cfg Config, key RunKey) (runOutput, error) {
+	return cfg.sched.get(cfg.context(), key, cfg.stats)
 }
 
 // accelRun returns the (memoized) result of one benchmark under the
 // accelerated scheme with the given strategy, plus the accelerator that
 // drove it, for coverage inspection.
 func accelRun(cfg Config, name string, strat core.Strategy, l2 int) (workload.Result, *core.Accelerator, error) {
-	out, err := cfg.sched.get(cfg.accelKey(name, strat, l2), cfg.stats)
+	out, err := cfg.sched.get(cfg.context(), cfg.accelKey(name, strat, l2), cfg.stats)
 	return out.res, out.acc, err
 }
 
@@ -293,6 +473,6 @@ func accelRun(cfg Config, name string, strat core.Strategy, l2 int) (workload.Re
 // of name. The underlying simulation is the same cache entry the baseline
 // figures use: every full-system run records its profile as it executes.
 func profileRun(cfg Config, name string) (*core.Profiler, error) {
-	out, err := cfg.sched.get(cfg.benchKey(name, machine.FullSystem, 0), cfg.stats)
+	out, err := cfg.sched.get(cfg.context(), cfg.benchKey(name, machine.FullSystem, 0), cfg.stats)
 	return out.prof, err
 }

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"fssim/internal/machine"
+	"fssim/internal/workload"
+)
+
+// TestPlanDeterminism is the package's core contract: a plan is a pure
+// function of (seed, spec). The same pair yields an identical schedule on
+// every call; different seeds or specs yield different ones.
+func TestPlanDeterminism(t *testing.T) {
+	spec, err := Named("storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewPlan(7, spec)
+	b := NewPlan(7, spec)
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("same (seed, spec) produced different schedules")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("storm plan is empty")
+	}
+	c := NewPlan(8, spec)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Error("different seeds produced identical schedules")
+	}
+	spec2 := spec
+	spec2.DiskFactor++
+	d := NewPlan(7, spec2)
+	if reflect.DeepEqual(a.Events, d.Events) {
+		t.Error("different specs produced identical schedules")
+	}
+}
+
+// TestPlanBounds asserts every event (including burst expansions and clamped
+// windows) lands inside [Start, Horizon) with its window fully contained, and
+// that the schedule is sorted by fire time.
+func TestPlanBounds(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := Named(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scale := range []float64{1, 0.1} {
+			s := spec.Scaled(scale)
+			p := NewPlan(1, s)
+			var prev uint64
+			for i, ev := range p.Events {
+				if ev.At < s.Start || ev.At >= s.Horizon {
+					t.Fatalf("%s@%.1f event %d at %d outside [%d, %d)", name, scale, i, ev.At, s.Start, s.Horizon)
+				}
+				if ev.At+ev.Dur > s.Horizon {
+					t.Fatalf("%s@%.1f event %d window [%d, %d) exceeds horizon %d", name, scale, i, ev.At, ev.At+ev.Dur, s.Horizon)
+				}
+				if ev.At < prev {
+					t.Fatalf("%s@%.1f schedule not sorted at %d", name, scale, i)
+				}
+				prev = ev.At
+			}
+		}
+	}
+}
+
+func TestNamedAndNames(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no preset plans")
+	}
+	for _, n := range names {
+		s, err := Named(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != n || s.Horizon <= s.Start {
+			t.Errorf("preset %q malformed: %+v", n, s)
+		}
+	}
+	if _, err := Named("no-such-plan"); err == nil {
+		t.Error("unknown plan accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Spec{Start: 1000, Horizon: 10000, DiskSpikeLen: 500, IRQSpacing: 3, NetDropLen: 9}
+	h := s.Scaled(0.1)
+	if h.Start != 100 || h.Horizon != 1000 || h.DiskSpikeLen != 50 {
+		t.Errorf("time axis not scaled: %+v", h)
+	}
+	if h.IRQSpacing == 0 || h.NetDropLen == 0 {
+		t.Errorf("nonzero durations scaled to zero: %+v", h)
+	}
+	if got := s.Scaled(1); !reflect.DeepEqual(got, s) {
+		t.Errorf("unit scale changed the spec: %+v", got)
+	}
+	if got := s.Scaled(0); !reflect.DeepEqual(got, s) {
+		t.Errorf("zero scale changed the spec: %+v", got)
+	}
+}
+
+func TestEmptyWindow(t *testing.T) {
+	p := NewPlan(1, Spec{Name: "x", Start: 100, Horizon: 100, DiskSpikes: 3})
+	if len(p.Events) != 0 {
+		t.Errorf("degenerate window produced %d events", len(p.Events))
+	}
+	if !strings.Contains(p.String(), "no events") {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+func TestString(t *testing.T) {
+	spec, _ := Named("mild")
+	s := NewPlan(1, spec).String()
+	for _, want := range []string{"mild", "disk-spike", "irq-burst", "pagecache-drop"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// TestInstallPerturbsRun runs a benchmark with and without an installed plan:
+// the faulted run must finish (no hang, no panic) and take more cycles, and
+// the plan must report events actually fired.
+func TestInstallPerturbsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: simulates a benchmark twice")
+	}
+	run := func(plan *Plan) uint64 {
+		opts := workload.DefaultOptions()
+		opts.Scale = 0.1
+		opts.Machine.Mode = machine.FullSystem
+		opts.Machine.Seed = 42
+		if plan != nil {
+			opts.Prepare = plan.Install
+		}
+		res, err := workload.Run("find-od", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	clean := run(nil)
+	spec, _ := Named("storm")
+	plan := NewPlan(42, spec.Scaled(0.1))
+	faulted := run(plan)
+	if plan.Applied == 0 {
+		t.Fatal("no fault events fired during the run")
+	}
+	if faulted <= clean {
+		t.Errorf("storm plan did not slow the run: %d vs %d cycles", faulted, clean)
+	}
+}

@@ -1,0 +1,54 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultPlan fuzzes the plan generator's two invariants over arbitrary
+// (seed, spec) pairs: determinism (the same inputs always materialize the
+// identical schedule) and containment (every event window fits inside
+// [Start, Horizon), even for adversarial span/duration combinations).
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(int64(1), uint64(2_000_000), uint64(120_000_000), 24, 30, uint64(4000), 16, uint64(1_200_000), 6)
+	f.Add(int64(0), uint64(0), uint64(1), 1, 1, uint64(0), 1, uint64(1<<40), 1)
+	f.Add(int64(-5), uint64(100), uint64(90), 3, 3, uint64(7), 3, uint64(50), 3)
+	f.Fuzz(func(t *testing.T, seed int64, start, horizon uint64, spikes, bursts int, spacing uint64, drops int, dropLen uint64, pcd int) {
+		// Bound the counts so a fuzz input can't allocate unbounded memory;
+		// the generator itself has no such limit.
+		clamp := func(n int) int {
+			if n < 0 {
+				return 0
+			}
+			if n > 256 {
+				return 256
+			}
+			return n
+		}
+		spec := Spec{
+			Name: "fuzz", Start: start, Horizon: horizon,
+			DiskSpikes: clamp(spikes), DiskFactor: 4, DiskSpikeLen: dropLen,
+			IRQBursts: clamp(bursts), IRQBurstLen: 8, IRQSpacing: spacing,
+			NetDrops: clamp(drops), NetDropLen: dropLen, NetDropExtra: 10,
+			PageCacheDrops: clamp(pcd),
+		}
+		a := NewPlan(seed, spec)
+		b := NewPlan(seed, spec)
+		if !reflect.DeepEqual(a.Events, b.Events) {
+			t.Fatalf("non-deterministic plan for seed=%d spec=%+v", seed, spec)
+		}
+		var prev uint64
+		for i, ev := range a.Events {
+			if ev.At < spec.Start || ev.At >= spec.Horizon {
+				t.Fatalf("event %d at %d outside [%d, %d)", i, ev.At, spec.Start, spec.Horizon)
+			}
+			if ev.At+ev.Dur > spec.Horizon {
+				t.Fatalf("event %d window [%d, %d) exceeds horizon %d", i, ev.At, ev.At+ev.Dur, spec.Horizon)
+			}
+			if ev.At < prev {
+				t.Fatalf("schedule not sorted at %d", i)
+			}
+			prev = ev.At
+		}
+	})
+}

@@ -11,8 +11,35 @@ type Disk struct {
 	busyUntil uint64
 	completed []*dreq
 
+	// Fault injection: while Now() < degradedUntil, positioning and transfer
+	// latency are multiplied by degradeFactor (a latency spike).
+	degradedUntil uint64
+	degradeFactor float64
+
 	Requests uint64
 	Pages    uint64
+}
+
+// Degrade opens a latency-spike window: until cycle `until`, every request's
+// seek and transfer latency is multiplied by factor. A later call extends or
+// replaces the window (fault injection).
+func (d *Disk) Degrade(until uint64, factor float64) {
+	d.degradedUntil = until
+	d.degradeFactor = factor
+}
+
+// latency returns the current request latency for n pages, applying any open
+// degradation window. App-only runs are exempt: their devices are free by
+// definition, faulted or not.
+func (d *Disk) latency(n int) uint64 {
+	if d.k.appOnly() {
+		return 1
+	}
+	lat := d.k.tun.DiskSeek + d.k.tun.DiskPerPage*uint64(n)
+	if d.k.m.Now() < d.degradedUntil && d.degradeFactor > 1 {
+		lat = uint64(float64(lat) * d.degradeFactor)
+	}
+	return lat
 }
 
 type dreq struct {
@@ -41,15 +68,11 @@ func (d *Disk) Submit(pages []*Page) {
 	d.Requests++
 	d.Pages += uint64(len(pages))
 
-	var latency uint64 = 1
-	if !k.appOnly() {
-		latency = k.tun.DiskSeek + k.tun.DiskPerPage*uint64(len(pages))
-	}
 	now := k.m.Now()
 	if d.busyUntil < now {
 		d.busyUntil = now
 	}
-	d.busyUntil += latency
+	d.busyUntil += d.latency(len(pages))
 	req := &dreq{pages: pages}
 	k.m.Schedule(d.busyUntil, func() {
 		d.completed = append(d.completed, req)
@@ -75,15 +98,11 @@ func (d *Disk) SubmitWrite(pages []*Page) {
 	e.Ret()
 	d.Requests++
 	d.Pages += uint64(len(pages))
-	var latency uint64 = 1
-	if !k.appOnly() {
-		latency = k.tun.DiskSeek + k.tun.DiskPerPage*uint64(len(pages))
-	}
 	now := k.m.Now()
 	if d.busyUntil < now {
 		d.busyUntil = now
 	}
-	d.busyUntil += latency
+	d.busyUntil += d.latency(len(pages))
 	req := &dreq{} // no pages to mark: writeback completion is bookkeeping only
 	k.m.Schedule(d.busyUntil, func() {
 		d.completed = append(d.completed, req)

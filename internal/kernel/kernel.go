@@ -163,6 +163,24 @@ func (k *Kernel) FS() *FS { return k.fs }
 // Net returns the kernel's network stack.
 func (k *Kernel) Net() *Net { return k.net }
 
+// Disk returns the kernel's block device.
+func (k *Kernel) Disk() *Disk { return k.disk }
+
+// InjectIRQ delivers a spurious interrupt on the given vector, as fault
+// injection uses to model IRQ storms. Event-callback context only, like the
+// device-side Inject* entry points.
+func (k *Kernel) InjectIRQ(vector uint16) { k.handleIRQ(vector) }
+
+// SetSchedJitter opens a scheduler-jitter window until the given cycle:
+// quanta expire on every timer tick and schedule() walks a longer path,
+// shifting the timer and context-switch services' behavior points (fault
+// injection).
+func (k *Kernel) SetSchedJitter(until uint64) {
+	if until > k.sched.jitterUntil {
+		k.sched.jitterUntil = until
+	}
+}
+
 // Tunables returns the kernel's device/scheduler tunables.
 func (k *Kernel) Tunables() Tunables { return k.tun }
 
@@ -177,13 +195,16 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Thread {
 	return k.sched.spawn(name, body)
 }
 
-// Run starts the timer and schedules threads until all of them exit.
-func (k *Kernel) Run() {
+// Run starts the timer and schedules threads until all of them exit. It
+// returns a non-nil error when the run ended early: a guest thread panicked
+// (the panic is captured, not propagated) or the machine was canceled. In
+// both cases every thread goroutine has been unwound before Run returns.
+func (k *Kernel) Run() error {
 	if !k.appOnly() && !k.timerOn {
 		k.timerOn = true
 		k.m.ScheduleAfter(k.tun.TimerPeriod, k.timerFire)
 	}
-	k.sched.run()
+	return k.sched.run()
 }
 
 // Ticks returns the number of timer interrupts delivered.
@@ -257,6 +278,10 @@ func (k *Kernel) timerBody() {
 		e.Store(cur.taskAddr+24, 8)
 		e.Ops(6)
 		cur.quantumLeft--
+		if k.sched.jitterActive() {
+			// Fault injection: jitter forces a quantum expiry on every tick.
+			cur.quantumLeft = 0
+		}
 		if cur.quantumLeft <= 0 {
 			cur.quantumLeft = k.tun.Quantum
 			if k.sched.runnableCount() > 1 {

@@ -19,6 +19,14 @@ type Net struct {
 	rxPending  []rxWork
 	ackPending []ackWork
 
+	// Fault injection: noise is an internal socket unsolicited burst traffic
+	// lands on (no guest reader ever drains it); while Now() < lossUntil,
+	// transmitted segments take lossExtra additional cycles to arrive,
+	// modeling a packet-loss/retransmission window.
+	noise     *Socket
+	lossUntil uint64
+	lossExtra uint64
+
 	// skb slab pool: payload copies rotate through this region the way real
 	// kernels cycle through slab-allocated sk_buff data, giving the network
 	// path a realistic (and cache-capacity-sensitive) working set.
@@ -191,6 +199,41 @@ func (n *Net) InjectFIN(s *Socket) {
 	n.k.handleIRQ(isa.IrqNIC)
 }
 
+// noiseSock lazily creates the internal socket fault-injected traffic lands
+// on, so bursts exercise the full RX path without touching guest sockets.
+func (n *Net) noiseSock() *Socket {
+	if n.noise == nil {
+		n.noise = n.newSocket()
+	}
+	return n.noise
+}
+
+// InjectNoise delivers nbytes of unsolicited inbound traffic (fault
+// injection, event callback context): the NIC interrupt fires and the receive
+// path runs per-MSS, but no guest thread is waiting on the data.
+func (n *Net) InjectNoise(nbytes int) {
+	s := n.noiseSock()
+	s.rcvBytes = 0 // nothing drains the noise socket; don't accumulate
+	n.InjectData(s, nbytes)
+}
+
+// InjectNoiseFIN runs the FIN receive path against the noise socket (fault
+// injection): the close-processing branch of the NIC handler executes without
+// tearing down any guest connection.
+func (n *Net) InjectNoiseFIN() {
+	s := n.noiseSock()
+	s.rcvClosed = false // re-arm so every injection takes the FIN branch
+	n.InjectFIN(s)
+}
+
+// SetLoss opens a packet-loss window: until cycle `until`, every transmitted
+// segment arrives extra cycles late, modeling retransmission delay (fault
+// injection). A later call extends or replaces the window.
+func (n *Net) SetLoss(until, extra uint64) {
+	n.lossUntil = until
+	n.lossExtra = extra
+}
+
 // irqBody is the NIC interrupt handler: driver RX ring reaping, the
 // netif_rx/TCP receive path for arrived packets, and TCP ACK processing for
 // transmitted data. Path length scales with pending work, producing the
@@ -328,6 +371,10 @@ func (n *Net) sendBody(p *Proc, s *Socket, buf uint64, nbytes int) {
 			}
 			n.linkFree += ser
 			arrive = n.linkFree + k.tun.NetRTT/2
+			if now < n.lossUntil {
+				// Fault-injected loss window: the segment is retransmitted.
+				arrive += n.lossExtra
+			}
 		}
 		sent := chunk
 		sock := s

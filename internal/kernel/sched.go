@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 
 	"fssim/internal/isa"
@@ -83,6 +84,13 @@ type Scheduler struct {
 	// callbacks that run on the scheduler loop (idle advances, dispatch-time
 	// deliveries) must not try to context-switch.
 	inThread bool
+	// failure records the first guest-thread panic (or cancellation cause).
+	// It is only ever written by the goroutine currently driving the machine,
+	// before the handoff back to the scheduler loop, so no locking is needed.
+	failure error
+	// jitterUntil makes the scheduler thrash until the given cycle (fault
+	// injection): quanta expire every tick and schedule() walks a longer path.
+	jitterUntil uint64
 }
 
 func newScheduler(k *Kernel) *Scheduler { return &Scheduler{k: k} }
@@ -104,17 +112,35 @@ func (s *Scheduler) spawn(name string, body func(*Proc)) *Thread {
 	s.runq = append(s.runq, t)
 	go func() {
 		<-t.resume
+		// A panic anywhere in the guest body (or the kernel paths it calls)
+		// must not escape this goroutine: the run's recover lives on the
+		// scheduler caller's goroutine and cannot see it. Record the first
+		// failure and finish the thread; the scheduler loop turns it into an
+		// error from Run and cancels the remaining threads.
 		defer func() {
 			if r := recover(); r != nil {
-				if _, ok := r.(threadExit); !ok {
-					panic(r)
+				switch r.(type) {
+				case threadExit: // normal guest exit
+				case *machine.AbortError: // cancellation teardown
+				default:
+					s.fail(fmt.Errorf("thread %s: panic: %v\n%s",
+						t.name, r, debug.Stack()))
 				}
 			}
 			t.finish()
 		}()
+		s.k.m.AbortIfCanceled()
 		t.body(t.proc)
 	}()
 	return t
+}
+
+// fail records the first failure; later ones (teardown collateral) are
+// dropped.
+func (s *Scheduler) fail(err error) {
+	if s.failure == nil {
+		s.failure = err
+	}
 }
 
 // threadExit is the panic sentinel sys_exit_group uses to unwind a guest
@@ -152,10 +178,21 @@ func (s *Scheduler) pickNext() *Thread {
 // run drives the simulation: it dispatches runnable threads and advances
 // virtual time across idle gaps until every thread has exited. A watchdog
 // aborts if the machine only ticks (timer events with no thread ever waking),
-// which indicates a lost wakeup in kernel or workload code.
-func (s *Scheduler) run() {
+// which indicates a lost wakeup in kernel or workload code. A guest-thread
+// panic or an external cancellation ends the run early: the machine is
+// canceled, every surviving thread goroutine is drained, and the failure is
+// returned.
+func (s *Scheduler) run() error {
 	idleStreak := 0
 	for s.dead < len(s.threads) {
+		if s.failure == nil {
+			s.fail(s.k.m.Canceled())
+		}
+		if s.failure != nil {
+			s.k.m.Cancel(s.failure)
+			s.drain()
+			break
+		}
 		t := s.pickNext()
 		if t == nil {
 			if !s.k.m.AdvanceIdle() {
@@ -172,6 +209,35 @@ func (s *Scheduler) run() {
 	}
 	// Close any interval left open by the final thread.
 	s.k.m.SetDepth(0, isa.ServiceID{})
+	// A cancellation that unwound the last surviving thread ends the loop
+	// before the loop-top check can record it; fold it in so a canceled run
+	// never reports success.
+	if s.failure == nil {
+		s.fail(s.k.m.Canceled())
+	}
+	return s.failure
+}
+
+// drain force-resumes every surviving thread so its goroutine observes the
+// machine's cancellation (every handoff and instruction boundary checks it)
+// and exits. Without this, an abandoned run would leak one parked goroutine
+// per guest thread. Bounded passes: a resumed thread may re-park once in a
+// fresh wait before crossing a check, but dies on its next resume.
+func (s *Scheduler) drain() {
+	for pass := 0; pass < 64 && s.dead < len(s.threads); pass++ {
+		for _, t := range s.threads {
+			if t.state == tDead {
+				continue
+			}
+			s.current = t
+			t.state = tRunning
+			s.inThread = true
+			t.resume <- struct{}{}
+			<-t.parked
+			s.inThread = false
+			s.current = nil
+		}
+	}
 }
 
 // describeThreads summarizes thread states for hang diagnostics.
@@ -227,6 +293,8 @@ func (s *Scheduler) reschedule(blocked bool) {
 	}
 	t.parked <- struct{}{}
 	<-t.resume
+	// Resumed during teardown: unwind instead of running on.
+	s.k.m.AbortIfCanceled()
 }
 
 // callerSite returns "file:line" for diagnostics.
@@ -240,6 +308,10 @@ func callerSite(skip int) string {
 	}
 	return fmt.Sprintf("%s:%d", file, line)
 }
+
+// jitterActive reports whether a fault-injected scheduler-jitter window is
+// open (see Kernel.SetSchedJitter).
+func (s *Scheduler) jitterActive() bool { return s.k.m.Now() < s.jitterUntil }
 
 // canPreempt reports whether a context switch may be performed right now:
 // only from code running on the current thread's own goroutine, and only
@@ -273,6 +345,12 @@ func (s *Scheduler) scheduleBody() {
 		e.Load(s.current.taskAddr+128, 64, 0)
 	}
 	e.Mix(26)
+	if s.jitterActive() {
+		// Fault injection: a priority-recomputation storm lengthens every
+		// schedule() while the jitter window is open.
+		e.Mix(40)
+		e.ScanLines(s.k.varRunq, 2, 64)
+	}
 	// Address-space switch: the TLBs are flushed (no-op unless the machine
 	// models TLBs).
 	if mem := s.k.m.Mem(); mem != nil {

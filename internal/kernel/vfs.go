@@ -180,6 +180,37 @@ func (fs *FS) WarmFile(d *Dentry) {
 	}
 }
 
+// DropCaches evicts every clean page-cache page backed by the block device
+// and un-caches the dcache (the /proc/sys/vm/drop_caches analogue, used for
+// fault injection): subsequent reads take the cold path — radix miss,
+// ->readpage, disk I/O, blocking wait — and lookups re-read directory
+// blocks. Busy (in-flight) and dirty pages are left alone, as are purely
+// in-memory inodes. Returns the number of pages evicted.
+func (fs *FS) DropCaches() int {
+	n := 0
+	var walk func(d *Dentry)
+	walk = func(d *Dentry) {
+		if d.parent != nil {
+			d.cached = false
+		}
+		if i := d.inode; i != nil {
+			if i.onDisk {
+				for _, pg := range i.pages {
+					if pg.uptodate && !pg.busy && !pg.dirty {
+						pg.uptodate = false
+						n++
+					}
+				}
+			}
+			for _, c := range i.children {
+				walk(c)
+			}
+		}
+	}
+	walk(fs.root)
+	return n
+}
+
 // MustDevNull creates a data-sink device node at path (writes discarded).
 func (fs *FS) MustDevNull(path string) *Dentry {
 	d := fs.MustCreate(path, 0)
@@ -294,11 +325,26 @@ func (fs *FS) readPages(p *Proc, i *Inode, start int64, count int) {
 		}
 		k.disk.Submit(submit)
 	}
-	// Wait for the demand pages (not the readahead tail).
+	// Wait for the demand pages (not the readahead tail). The wait is a
+	// lock_page-style re-check loop rather than a single sleep: DropCaches may
+	// evict a page between its I/O completion and this thread resuming
+	// (uptodate cleared, no I/O in flight), and a plain wait-for-uptodate
+	// would then sleep forever. Waking on !busy lets the loop notice the
+	// eviction and re-issue the read.
 	for idx := start; idx < end; idx++ {
 		pg := i.page(k, idx)
-		if !pg.uptodate {
-			pg.wq.WaitFor(func() bool { return pg.uptodate }, func() { e.Ops(8) })
+		for !pg.uptodate {
+			if !pg.busy {
+				// Evicted under us: re-run the ->readpage path.
+				fs.PageMisses++
+				e.Call(k.fn.readpage)
+				e.Mix(26)
+				e.Store(pg.addr, 8)
+				e.Ret()
+				pg.busy = true
+				k.disk.Submit([]*Page{pg})
+			}
+			pg.wq.WaitFor(func() bool { return pg.uptodate || !pg.busy }, func() { e.Ops(8) })
 		}
 	}
 }

@@ -11,7 +11,9 @@
 package machine
 
 import (
+	"errors"
 	"math/rand"
+	"sync/atomic"
 
 	"fssim/internal/cache"
 	"fssim/internal/cpu"
@@ -199,6 +201,12 @@ type Machine struct {
 
 	cursor Cursor
 
+	// cancel, once set, asynchronously aborts the run: Exec (and the kernel
+	// scheduler's thread handoffs) panic with *AbortError so every guest
+	// goroutine unwinds cooperatively instead of leaking. Written from watcher
+	// goroutines, read from the simulation goroutines — hence atomic.
+	cancel atomic.Pointer[cancelReason]
+
 	// Aggregate statistics.
 	totalInsts uint64
 	userInsts  uint64
@@ -279,10 +287,59 @@ func (m *Machine) skipTiming() bool {
 	return m.cfg.Mode == AppOnly && m.depth > 0
 }
 
+// cancelReason wraps the cancellation cause behind one pointer so the hot
+// path needs a single atomic load to test for it.
+type cancelReason struct{ err error }
+
+// ErrCanceled is the default cancellation cause.
+var ErrCanceled = errors.New("machine: run canceled")
+
+// AbortError is the panic value a canceled machine raises from Exec (and the
+// kernel scheduler from its handoff points): the kernel's thread wrappers
+// recognize it and unwind their goroutines cleanly instead of treating it as
+// a guest crash.
+type AbortError struct{ Cause error }
+
+func (e *AbortError) Error() string { return "machine: run aborted: " + e.Cause.Error() }
+func (e *AbortError) Unwrap() error { return e.Cause }
+
+// Cancel requests an asynchronous abort of the run with the given cause
+// (ErrCanceled when nil). Safe to call from any goroutine; the first cause
+// wins. The simulation goroutines observe it at the next instruction-boundary
+// check and unwind via *AbortError panics.
+func (m *Machine) Cancel(cause error) {
+	if cause == nil {
+		cause = ErrCanceled
+	}
+	m.cancel.CompareAndSwap(nil, &cancelReason{err: cause})
+}
+
+// Canceled returns the cancellation cause, or nil while the run is live.
+func (m *Machine) Canceled() error {
+	if r := m.cancel.Load(); r != nil {
+		return r.err
+	}
+	return nil
+}
+
+// AbortIfCanceled panics with *AbortError if the machine was canceled. The
+// kernel scheduler calls it at thread-handoff points so parked threads die
+// promptly during teardown.
+func (m *Machine) AbortIfCanceled() {
+	if r := m.cancel.Load(); r != nil {
+		panic(&AbortError{Cause: r.err})
+	}
+}
+
 // Exec runs one dynamic instruction through the active backend. Kernel and
 // guest code normally call this through an Emitter, which manages the PC
 // cursor.
 func (m *Machine) Exec(in *isa.Inst) {
+	// Cancellation is polled every 256 instructions: cheap enough for the hot
+	// path, tight enough that even a pure-compute guest loop aborts promptly.
+	if m.totalInsts&255 == 0 {
+		m.AbortIfCanceled()
+	}
 	m.totalInsts++
 	owner := cache.OwnerApp
 	if m.depth > 0 {

@@ -122,6 +122,17 @@ func (h *Hierarchy) FlushTLB() {
 	h.dtlb.InvalidateAll()
 }
 
+// FlushAll invalidates every cache level and both TLBs — the fault model's
+// cache-state perturbation, modeling an external agent (competing context,
+// DMA-heavy device) evicting the hierarchy wholesale. Subsequent accesses
+// cold-miss their way back in, shifting every service's behavior points.
+func (h *Hierarchy) FlushAll() {
+	h.l1i.InvalidateAll()
+	h.l1d.InvalidateAll()
+	h.l2.InvalidateAll()
+	h.FlushTLB()
+}
+
 // tlbLookup charges a page-walk latency on a TLB miss and returns the
 // translated access start time.
 func (h *Hierarchy) tlbLookup(tlb *cache.Cache, addr, now uint64, owner cache.Owner) uint64 {

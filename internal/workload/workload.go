@@ -5,8 +5,11 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
+	"sync"
 	"time"
 
 	"fssim/internal/guest"
@@ -14,12 +17,19 @@ import (
 	"fssim/internal/machine"
 )
 
+// ErrUnknown is wrapped by Lookup/Run for unregistered benchmark names.
+var ErrUnknown = errors.New("workload: unknown benchmark")
+
 // Benchmark describes one named workload.
 type Benchmark struct {
 	Name        string
 	OSIntensive bool
 	Description string
-	setup       func(k *kernel.Kernel, scale float64)
+	// Hidden benchmarks are runnable via Lookup/Run but excluded from
+	// Names(), so synthetic probes never leak into the paper-artifact
+	// experiments (which enumerate the benchmark set).
+	Hidden bool
+	setup  func(k *kernel.Kernel, scale float64)
 }
 
 func scaled(base int, scale float64) int {
@@ -98,18 +108,50 @@ func specBench(name, desc string) Benchmark {
 	}
 }
 
+// regMu guards registry against Register calls racing Lookup/Names; the
+// built-in benchmarks are installed before init completes and never change.
+var regMu sync.RWMutex
+
+// Register adds (or replaces) a benchmark. Primarily for tests and harness
+// extensions that need synthetic workloads (e.g. fault-injection probes or
+// deliberately misbehaving benches for robustness testing).
+func Register(b Benchmark, setup func(k *kernel.Kernel, scale float64)) {
+	if b.Name == "" || setup == nil {
+		panic("workload: Register requires a name and a setup function")
+	}
+	b.setup = setup
+	regMu.Lock()
+	registry[b.Name] = b
+	regMu.Unlock()
+}
+
 // Names returns all benchmark names, OS-intensive first, each group in the
-// paper's presentation order.
+// paper's presentation order; later registrations sort after the built-ins,
+// alphabetically.
 func Names() []string {
 	order := map[string]int{
 		"ab-rand": 0, "ab-seq": 1, "du": 2, "find-od": 3, "iperf": 4,
 		"gzip": 5, "vpr": 6, "art": 7, "swim": 8, "ab-single": 9,
 	}
+	regMu.RLock()
 	out := make([]string, 0, len(registry))
-	for n := range registry {
-		out = append(out, n)
+	for n, b := range registry {
+		if !b.Hidden {
+			out = append(out, n)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return order[out[i]] < order[out[j]] })
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		oi, iok := order[out[i]]
+		oj, jok := order[out[j]]
+		if iok != jok {
+			return iok // registered built-ins first
+		}
+		if !iok {
+			return out[i] < out[j]
+		}
+		return oi < oj
+	})
 	return out
 }
 
@@ -118,11 +160,13 @@ func OSIntensiveNames() []string {
 	return []string{"ab-rand", "ab-seq", "du", "find-od", "iperf"}
 }
 
-// Lookup returns the named benchmark.
+// Lookup returns the named benchmark. The error wraps ErrUnknown.
 func Lookup(name string) (Benchmark, error) {
+	regMu.RLock()
 	b, ok := registry[name]
+	regMu.RUnlock()
 	if !ok {
-		return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+		return Benchmark{}, fmt.Errorf("%w %q", ErrUnknown, name)
 	}
 	return b, nil
 }
@@ -134,6 +178,15 @@ type Options struct {
 	Scale    float64 // workload size multiplier (default 1.0)
 	Sink     machine.IntervalSink
 	Observer func(machine.IntervalRecord)
+
+	// Prepare, if set, runs after workload setup and before the simulation
+	// starts — the hook fault plans use to install their event schedules.
+	Prepare func(k *kernel.Kernel)
+
+	// Cancel, if non-nil, aborts the simulation when closed (or sent on). The
+	// machine tears down cooperatively and Run returns machine.ErrCanceled
+	// (wrapped in a *machine.AbortError cause chain).
+	Cancel <-chan struct{}
 }
 
 // DefaultOptions returns the paper's platform at full workload scale.
@@ -155,24 +208,47 @@ type Result struct {
 	Wall time.Duration
 }
 
-// Run builds and runs the named benchmark to completion.
-func Run(name string, opts Options) (Result, error) {
+// Run builds and runs the named benchmark to completion. Panics anywhere in
+// setup or simulation are converted to errors rather than crashing the
+// caller, and a closed Options.Cancel channel aborts the run cooperatively;
+// in both cases the partially simulated machine state is still returned for
+// diagnostics.
+func Run(name string, opts Options) (res Result, err error) {
 	b, err := Lookup(name)
 	if err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
+	defer func() {
+		res.Wall = time.Since(start)
+		if r := recover(); r != nil {
+			err = fmt.Errorf("workload %s: panic: %v\n%s", name, r, debug.Stack())
+		}
+	}()
 	if opts.Scale == 0 {
 		opts.Scale = 1.0
 	}
 	m := machine.New(opts.Machine)
+	res.Machine = m
 	if opts.Sink != nil {
 		m.SetSink(opts.Sink)
 	}
 	if opts.Observer != nil {
 		m.SetObserver(opts.Observer)
 	}
+	if opts.Cancel != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-opts.Cancel:
+				m.Cancel(nil) // default cause: machine.ErrCanceled
+			case <-stop:
+			}
+		}()
+	}
 	k := kernel.New(m, opts.Tunables)
+	res.Kernel = k
 	b.setup(k, opts.Scale)
 	// Workloads with a declared warm-up (the web benchmarks skip their first
 	// requests, iperf its first writes, as in the paper's §5.2) defer the
@@ -188,6 +264,10 @@ func Run(name string, opts Options) (Result, error) {
 			m.SetWarmCallback(a.Arm)
 		}
 	}
-	k.Run()
-	return Result{Machine: m, Kernel: k, Stats: m.Stats(), Wall: time.Since(start)}, nil
+	if opts.Prepare != nil {
+		opts.Prepare(k)
+	}
+	err = k.Run()
+	res.Stats = m.Stats()
+	return res, err
 }
