@@ -19,6 +19,9 @@
 //	fsbench -pincosts        # pin tab1/tab2 host-cost columns (reproducible)
 //	fsbench -faults storm    # inject the "storm" fault plan into every run
 //	fsbench -timeout 2m      # abort any single simulation after 2 minutes
+//	fsbench -trace out.json  # record every run; export Chrome trace JSON
+//	fsbench -trace out.jsonl # ... or compact JSON lines (by extension)
+//	fsbench -metrics -       # dump per-run metrics registries (- = stdout)
 //
 // Ctrl-C cancels cleanly: in-flight simulations abort cooperatively, and
 // experiments that already finished are still printed. A run that fails
@@ -47,6 +50,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = unlimited)")
 	faultPlan := flag.String("faults", "", "fault plan injected into every simulation ("+strings.Join(faults.Names(), ", ")+"; empty = none)")
 	retries := flag.Int("retries", 0, "extra attempts for a failed simulation, each with a fresh derived seed")
+	traceOut := flag.String("trace", "", "record every simulation and export a trace file (.jsonl = JSON lines, anything else = Chrome trace-event JSON for Perfetto)")
+	metricsOut := flag.String("metrics", "", "write per-run metrics registries plus harness counters to this file (- = stdout)")
 	var parallel int
 	flag.IntVar(&parallel, "parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	flag.IntVar(&parallel, "j", 0, "shorthand for -parallel")
@@ -79,6 +84,7 @@ func main() {
 	cfg := experiments.Config{
 		Scale: *scale, Seed: *seed, Parallelism: parallel,
 		Timeout: *timeout, Retries: *retries, FaultPlan: *faultPlan,
+		Trace: *traceOut != "" || *metricsOut != "",
 	}.WithContext(ctx)
 	if *pincosts {
 		mc := experiments.ReferenceModeCosts
@@ -100,6 +106,19 @@ func main() {
 		// the run and cause (see experiments.RunError).
 		fmt.Fprintf(os.Stderr, "fsbench: %d of %d experiments failed:\n%v\n", len(results)-ok, len(results), err)
 	}
+	if *traceOut != "" {
+		if werr := writeTrace(sched, *traceOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "fsbench: trace export: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if werr := writeMetrics(sched, *metricsOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "fsbench: metrics export: %v\n", werr)
+			os.Exit(1)
+		}
+	}
 	st := sched.Stats()
 	fmt.Printf("suite: %d/%d experiments, %d distinct simulations (%d requests, %d served from cache, %d failed, %d retried), sim %.1fs in %.1fs wall at -j %d\n",
 		ok, len(results), st.Distinct, st.Hits+st.Misses, st.Hits, st.Failures, st.Retries,
@@ -107,4 +126,40 @@ func main() {
 	if err != nil {
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the scheduler's recorded runs: .jsonl gets compact JSON
+// lines, everything else the Chrome trace-event document Perfetto loads.
+func writeTrace(sched *experiments.Scheduler, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = sched.WriteJSONLTrace(f)
+	} else {
+		err = sched.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeMetrics dumps the per-run metrics registries (deterministic) followed
+// by the harness's own host-dependent counters. "-" writes to stdout.
+func writeMetrics(sched *experiments.Scheduler, path string) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := sched.WriteRunMetrics(w); err != nil {
+		return err
+	}
+	return sched.WriteHarnessMetrics(w)
 }

@@ -1,0 +1,63 @@
+// Tracing: attach the observability recorder to an accelerated ab-rand run,
+// export the interval trace as Chrome trace-event JSON (load trace.json at
+// https://ui.perfetto.dev or chrome://tracing — one lane per OS service, one
+// slice per interval, instants for re-learns and phase changes), and print
+// the services that dominated simulated time.
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fssim"
+)
+
+func main() {
+	const bench = "ab-rand"
+	rec := fssim.NewTracer()
+	rep, err := fssim.RunBenchmark(bench, fssim.Options{
+		Mode: fssim.Accelerated, Scale: 0.5, Trace: rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d cycles, IPC %.3f, coverage %.1f%%\n\n",
+		bench, rep.Cycles(), rep.IPC(), 100*rep.Coverage())
+
+	f, err := os.Create("trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fssim.WriteChromeTrace(f, bench, rec); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote trace.json (%d spans recorded, %d evicted from the ring)\n",
+		rec.Recorded(), rec.Dropped())
+	fmt.Println("open it at https://ui.perfetto.dev or chrome://tracing")
+
+	// ServiceTotals survive ring eviction: they aggregate every interval the
+	// run executed, sorted by cycles descending.
+	fmt.Printf("\ntop services by simulated cycles:\n")
+	fmt.Printf("%-14s %9s %12s %10s %10s\n", "service", "spans", "cycles", "predicted", "outliers")
+	totals := rec.ServiceTotals()
+	if len(totals) > 5 {
+		totals = totals[:5]
+	}
+	for _, t := range totals {
+		fmt.Printf("%-14s %9d %12d %10d %10d\n",
+			t.Service, t.Spans, t.Cycles, t.Predicted, t.Outliers)
+	}
+
+	// The same recorder carries the run's metrics registry: PLT hits and
+	// outliers, kernel ticks and context switches, interval histograms.
+	fmt.Printf("\nmetrics:\n")
+	if err := rec.Metrics().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

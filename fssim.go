@@ -46,12 +46,14 @@ package fssim
 
 import (
 	"context"
+	"io"
 
 	"fssim/internal/core"
 	"fssim/internal/experiments"
 	"fssim/internal/isa"
 	"fssim/internal/kernel"
 	"fssim/internal/machine"
+	"fssim/internal/trace"
 	"fssim/internal/workload"
 )
 
@@ -103,6 +105,14 @@ type (
 	Strategy = core.Strategy
 	// Profiler performs the paper's §3 characterization of OS services.
 	Profiler = core.Profiler
+
+	// Tracer is the observability recorder: per-interval spans, instants and
+	// a typed metrics registry, exportable as Chrome trace-event JSON
+	// (Perfetto), JSON lines, or a plaintext metrics dump. A nil *Tracer is
+	// valid everywhere and records nothing.
+	Tracer = trace.Recorder
+	// ServiceTotal aggregates every recorded interval of one OS service.
+	ServiceTotal = trace.ServiceTotal
 )
 
 // Options configures a simulation run.
@@ -130,6 +140,10 @@ type Options struct {
 	Prefetch bool
 	// Observer, if set, receives every completed OS service interval.
 	Observer func(IntervalRecord)
+	// Trace, if set, records every OS service interval plus the kernel's and
+	// accelerator's metrics into the given recorder. Tracing observes without
+	// influencing: traced and untraced runs produce identical statistics.
+	Trace *Tracer
 }
 
 func (o Options) toWorkload() (workload.Options, *core.Accelerator) {
@@ -157,6 +171,7 @@ func (o Options) toWorkload() (workload.Options, *core.Accelerator) {
 		opts.Machine.Mem = opts.Machine.Mem.WithPrefetch()
 	}
 	opts.Observer = o.Observer
+	opts.Trace = o.Trace
 	var acc *core.Accelerator
 	if o.Mode == machine.Accelerated {
 		params := core.DefaultParams()
@@ -227,8 +242,14 @@ type System struct {
 func NewSystem(o Options) *System {
 	opts, acc := o.toWorkload()
 	m := machine.New(opts.Machine)
+	if opts.Trace != nil {
+		m.SetTrace(opts.Trace)
+	}
 	if opts.Sink != nil {
 		m.SetSink(opts.Sink)
+		if acc != nil && opts.Trace != nil {
+			acc.SetRecorder(opts.Trace)
+		}
 	}
 	if opts.Observer != nil {
 		m.SetObserver(opts.Observer)
@@ -273,6 +294,17 @@ func NewAccelerator(p Params) *Accelerator { return core.NewAccelerator(p) }
 
 // NewProfiler returns a §3 characterization profiler; attach its Observer.
 func NewProfiler() *Profiler { return core.NewProfiler() }
+
+// NewTracer returns an observability recorder with default ring capacities,
+// ready to pass as Options.Trace.
+func NewTracer() *Tracer { return trace.NewRecorder(trace.DefaultConfig()) }
+
+// WriteChromeTrace exports one recorder as a Chrome trace-event JSON document
+// that loads directly in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing: one thread lane per OS service, one slice per interval.
+func WriteChromeTrace(w io.Writer, label string, t *Tracer) error {
+	return trace.WriteChrome(w, label, t)
+}
 
 // Experiments lists the regenerable paper artifacts (fig1..fig12, tab1, tab2).
 func Experiments() []string { return experiments.IDs() }

@@ -5,6 +5,7 @@ import (
 
 	"fssim/internal/isa"
 	"fssim/internal/machine"
+	"fssim/internal/trace"
 )
 
 // Accelerator is the machine-facing engine: one Learner per OS service type,
@@ -17,6 +18,94 @@ type Accelerator struct {
 	// deferred suppresses learning during a workload's warm-up period (the
 	// paper measures after skipping warm-up requests); Arm enables it.
 	deferred bool
+	trc      *traceHooks // nil unless a recorder is attached
+}
+
+// traceHooks fans the run's trace recorder and pre-resolved instruments into
+// the accelerator's learners. Every hook is a no-op on a nil receiver, so the
+// learner hot paths pay a single nil check when tracing is off.
+type traceHooks struct {
+	rec      *trace.Recorder
+	hits     *trace.Counter
+	outliers *trace.Counter
+	learned  *trace.Counter
+	relearns *trace.Counter
+	degrades *trace.Counter
+}
+
+// predicted records a PLT hit and stages the matched cluster id for the span
+// the machine is about to emit.
+func (h *traceHooks) predicted(cluster int) {
+	if h == nil {
+		return
+	}
+	h.hits.Inc()
+	h.rec.Annotate(cluster, false)
+}
+
+// outlier records a prediction whose signature matched no cluster.
+func (h *traceHooks) outlier() {
+	if h == nil {
+		return
+	}
+	h.outliers.Inc()
+	h.rec.Annotate(-1, true)
+}
+
+// observed records a detailed instance folded into the PLT.
+func (h *traceHooks) observed(cluster int) {
+	if h == nil {
+		return
+	}
+	h.learned.Inc()
+	h.rec.Annotate(cluster, false)
+}
+
+func (h *traceHooks) relearn(svc isa.ServiceID) {
+	if h == nil {
+		return
+	}
+	h.relearns.Inc()
+	h.rec.InstantNow("relearn " + svc.String())
+}
+
+func (h *traceHooks) degrade(svc isa.ServiceID) {
+	if h == nil {
+		return
+	}
+	h.degrades.Inc()
+	h.rec.InstantNow("degrade " + svc.String())
+}
+
+// phase marks a learner phase transition on the timeline.
+func (h *traceHooks) phase(svc isa.ServiceID, name string) {
+	if h == nil {
+		return
+	}
+	h.rec.InstantNow("phase " + name + " " + svc.String())
+}
+
+// SetRecorder attaches the run's trace recorder: prediction outcomes annotate
+// interval spans with their PLT cluster id, learner phase transitions and
+// watchdog degrades become instant events, and the PLT counters land in the
+// recorder's metrics registry. A nil recorder detaches (tracing off).
+func (a *Accelerator) SetRecorder(r *trace.Recorder) {
+	if r == nil {
+		a.trc = nil
+	} else {
+		reg := r.Metrics()
+		a.trc = &traceHooks{
+			rec:      r,
+			hits:     reg.Counter("plt.hits"),
+			outliers: reg.Counter("plt.outliers"),
+			learned:  reg.Counter("plt.learned"),
+			relearns: reg.Counter("learner.relearns"),
+			degrades: reg.Counter("learner.degrades"),
+		}
+	}
+	for _, l := range a.learners {
+		l.trc = a.trc
+	}
 }
 
 // NewAccelerator returns an accelerator with the given parameters.
@@ -33,6 +122,7 @@ func (a *Accelerator) learner(svc isa.ServiceID) *Learner {
 	l := a.learners[svc]
 	if l == nil {
 		l = NewLearner(svc, a.params)
+		l.trc = a.trc
 		a.learners[svc] = l
 		a.order = append(a.order, svc)
 	}

@@ -164,6 +164,17 @@ func (t *PLT) Nearest(sig Signature) *Cluster {
 	return best
 }
 
+// Index returns c's position in the table — the cluster id interval spans
+// are annotated with — or -1 when c is not in the table.
+func (t *PLT) Index(c *Cluster) int {
+	for i, x := range t.Clusters {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
 // Learn folds a detailed-simulation instance into the PLT: the matching
 // cluster absorbs it, or a new cluster is created (paper §4.3).
 func (t *PLT) Learn(sig Signature, m *machine.Measurement, frac, abs float64, mix bool) *Cluster {

@@ -148,6 +148,7 @@ type Learner struct {
 	Svc    isa.ServiceID
 	Table  PLT
 	params Params
+	trc    *traceHooks // shared with the owning Accelerator; nil = tracing off
 
 	phase     phase
 	seen      int64
@@ -277,6 +278,7 @@ func (l *Learner) degrade() {
 	l.outliers = nil
 	l.Degrades++
 	l.wdReset()
+	l.trc.degrade(l.Svc)
 }
 
 func (l *Learner) pushRing(outID int16) {
@@ -345,13 +347,16 @@ func (l *Learner) Observe(sig Signature, m *machine.Measurement) {
 		if l.warmLeft <= 0 {
 			l.phase = phaseLearning
 			l.learnLeft = l.params.Window()
+			l.trc.phase(l.Svc, "learning")
 		}
 	case phaseLearning:
-		l.Table.Learn(sig, m, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature)
+		c := l.Table.Learn(sig, m, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature)
+		l.trc.observed(l.Table.Index(c))
 		l.Learned++
 		l.learnLeft--
 		if l.learnLeft <= 0 {
 			l.phase = phasePredicting
+			l.trc.phase(l.Svc, "predicting")
 		}
 	case phaseDegraded:
 		// Watchdog fallback: re-learn in detail and test convergence — the
@@ -359,7 +364,8 @@ func (l *Learner) Observe(sig Signature, m *machine.Measurement) {
 		// Prediction re-arms only once the table tracks current behavior; a
 		// service that keeps drifting stays (accurately) detailed.
 		matched := l.Table.Match(sig, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature) != nil
-		l.Table.Learn(sig, m, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature)
+		c := l.Table.Learn(sig, m, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature)
+		l.trc.observed(l.Table.Index(c))
 		l.Learned++
 		l.rearmSeen++
 		if matched {
@@ -369,6 +375,7 @@ func (l *Learner) Observe(sig Signature, m *machine.Measurement) {
 		if l.holdLeft <= 0 {
 			if float64(l.rearmMatched) >= (1-l.params.WatchdogThreshold)*float64(l.rearmSeen) {
 				l.phase = phasePredicting
+				l.trc.phase(l.Svc, "predicting")
 			} else {
 				l.holdLeft = l.params.Window()
 				l.rearmSeen, l.rearmMatched = 0, 0
@@ -377,7 +384,8 @@ func (l *Learner) Observe(sig Signature, m *machine.Measurement) {
 	default:
 		// Detailed instance while predicting should not happen; record it
 		// anyway — information is information.
-		l.Table.Learn(sig, m, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature)
+		c := l.Table.Learn(sig, m, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature)
+		l.trc.observed(l.Table.Index(c))
 		l.Learned++
 	}
 }
@@ -390,12 +398,14 @@ func (l *Learner) Predict(sig Signature) *machine.Prediction {
 	if c := l.Table.Match(sig, l.params.RangeFrac, l.params.FixedRange, l.params.MixSignature); c != nil {
 		l.pushRing(-1)
 		l.wdPush(false)
+		l.trc.predicted(l.Table.Index(c))
 		return c.Perf.prediction()
 	}
 
 	// Outlier: predict from the nearest centroid, then decide re-learning.
 	l.Outliers++
 	l.wdPush(true)
+	l.trc.outlier()
 	pred := l.fallback(sig)
 	switch l.params.Strategy {
 	case BestMatch:
@@ -482,6 +492,7 @@ func (l *Learner) triggerRelearn() {
 	l.learnLeft = l.params.Window()
 	l.outliers = nil
 	l.Relearns++
+	l.trc.relearn(l.Svc)
 }
 
 func absf(x float64) float64 {

@@ -51,6 +51,13 @@ type Config struct {
 	// simulation ("" = none). Enabling it changes every RunKey, so faulted
 	// and unfaulted runs never share cache entries.
 	FaultPlan string
+	// Trace attaches a fresh trace.Recorder to every simulation the scheduler
+	// executes. Recorders observe without influencing: a traced run's tables
+	// and statistics are byte-identical to an untraced run's (asserted by
+	// TestTracingDoesNotPerturbResults). Export the collected traces and
+	// metrics through Scheduler.WriteChromeTrace / WriteJSONLTrace /
+	// WriteRunMetrics.
+	Trace bool
 
 	ctx   context.Context // suite-wide cancellation (WithContext)
 	sched *Scheduler      // shared memo cache + worker pool (set by Run/RunAll)

@@ -14,6 +14,7 @@ import (
 	"fssim/internal/core"
 	"fssim/internal/faults"
 	"fssim/internal/machine"
+	"fssim/internal/trace"
 	"fssim/internal/workload"
 )
 
@@ -114,6 +115,7 @@ type runOutput struct {
 	res  workload.Result
 	acc  *core.Accelerator
 	prof *core.Profiler
+	rec  *trace.Recorder // non-nil when Config.Trace is set
 }
 
 // runEntry is one cache slot; done is closed when out/err/wall are final.
@@ -355,6 +357,10 @@ func (s *Scheduler) executeOnce(ctx context.Context, key RunKey, attempt int) (o
 		// the same schedule regardless of mode, strategy or retry attempt.
 		plan := faults.NewPlan(key.Seed, spec.Scaled(key.Scale))
 		opts.Prepare = plan.Install
+	}
+	if s.cfg.Trace {
+		out.rec = trace.NewRecorder(trace.DefaultConfig())
+		opts.Trace = out.rec
 	}
 	if s.cfg.Timeout > 0 || ctx.Done() != nil {
 		runCtx := ctx

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fssim/internal/trace"
+)
+
+// TracedRun pairs a completed simulation's cache key with its recorder.
+type TracedRun struct {
+	Key RunKey
+	Rec *trace.Recorder
+}
+
+// TracedRuns returns every traced simulation the scheduler has executed,
+// sorted by key string. It waits for in-flight runs to finish (failed and
+// untraced runs are omitted), so the listing — and everything exported from
+// it — is a pure function of the run set, independent of parallelism.
+func (s *Scheduler) TracedRuns() []TracedRun {
+	s.mu.Lock()
+	entries := make(map[RunKey]*runEntry, len(s.runs))
+	for k, e := range s.runs {
+		entries[k] = e
+	}
+	s.mu.Unlock()
+
+	out := make([]TracedRun, 0, len(entries))
+	for k, e := range entries {
+		<-e.done
+		if e.err != nil || e.out.rec == nil {
+			continue
+		}
+		out = append(out, TracedRun{Key: k, Rec: e.out.rec})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// WriteChromeTrace exports every traced run as one Chrome trace-event JSON
+// document: one process (pid) per simulation, one thread (tid) per OS
+// service. The file loads directly in Perfetto or chrome://tracing.
+func (s *Scheduler) WriteChromeTrace(w io.Writer) error {
+	x := trace.NewChromeExporter(w)
+	for _, tr := range s.TracedRuns() {
+		if err := x.AddProcess(tr.Key.String(), tr.Rec); err != nil {
+			return err
+		}
+	}
+	return x.Close()
+}
+
+// WriteJSONLTrace exports every traced run's spans and instants as compact
+// JSON lines tagged with the run key.
+func (s *Scheduler) WriteJSONLTrace(w io.Writer) error {
+	for _, tr := range s.TracedRuns() {
+		if err := trace.WriteJSONL(w, tr.Key.String(), tr.Rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRunMetrics writes each traced run's metrics registry as a plaintext
+// /metrics-style dump, one "# run <key>" section per simulation. The output
+// is deterministic: sections sort by key and each snapshot renders
+// name-sorted (simulated quantities only — host timings live in
+// WriteHarnessMetrics).
+func (s *Scheduler) WriteRunMetrics(w io.Writer) error {
+	for _, tr := range s.TracedRuns() {
+		if _, err := fmt.Fprintf(w, "# run %s\n", tr.Key); err != nil {
+			return err
+		}
+		if err := tr.Rec.Metrics().WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteHarnessMetrics writes the scheduler's own cache and worker-pool
+// counters. These are host- and parallelism-dependent (like the "harness:"
+// notes StableRender excludes), so they are kept out of WriteRunMetrics and
+// the deterministic trace comparisons.
+func (s *Scheduler) WriteHarnessMetrics(w io.Writer) error {
+	st := s.Stats()
+	hitRate := 0.0
+	if st.Hits+st.Misses > 0 {
+		hitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	_, err := fmt.Fprintf(w,
+		"# harness (host-dependent, excluded from deterministic comparisons)\n"+
+			"sched.distinct %d\nsched.hits %d\nsched.misses %d\n"+
+			"sched.hit_rate %.3f\nsched.failures %d\nsched.retries %d\n"+
+			"sched.sim_wall_seconds %.3f\nsched.parallelism %d\n",
+		st.Distinct, st.Hits, st.Misses, hitRate, st.Failures, st.Retries,
+		st.SimWall.Seconds(), s.Parallelism())
+	return err
+}

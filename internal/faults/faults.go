@@ -151,7 +151,7 @@ var specs = map[string]Spec{
 		NetBursts: 8, NetBurstBytes: 32 << 10,
 		NetDrops: 4, NetDropLen: 600_000, NetDropExtra: 30_000,
 		SchedJitters: 4, SchedJitterLen: 600_000,
-		CacheFlushes: 8,
+		CacheFlushes:   8,
 		PageCacheDrops: 2,
 	},
 	"storm": {
@@ -164,7 +164,7 @@ var specs = map[string]Spec{
 		NetBursts: 30, NetBurstBytes: 96 << 10,
 		NetDrops: 16, NetDropLen: 1_200_000, NetDropExtra: 120_000,
 		SchedJitters: 16, SchedJitterLen: 1_200_000,
-		CacheFlushes: 40,
+		CacheFlushes:   40,
 		PageCacheDrops: 6,
 	},
 }
@@ -288,12 +288,23 @@ func NewPlan(seed int64, spec Spec) *Plan {
 
 // Install schedules every event on the kernel's machine. Call after
 // kernel.New and workload setup, before the run starts. Events past the end
-// of the run simply never fire.
+// of the run simply never fire. When the machine carries a trace recorder,
+// each dispatched event bumps a total and a per-kind counter and lands as an
+// instant on the timeline; with tracing off the instruments are nil no-ops.
 func (p *Plan) Install(k *kernel.Kernel) {
 	m := k.Machine()
+	rec := m.Trace()
+	reg := rec.Metrics()
+	total := reg.Counter("faults.dispatched")
 	for _, ev := range p.Events {
 		ev := ev
-		m.Schedule(ev.At, func() { p.apply(k, ev) })
+		kindCtr := reg.Counter("faults." + ev.Kind.String())
+		m.Schedule(ev.At, func() {
+			p.apply(k, ev)
+			total.Inc()
+			kindCtr.Inc()
+			rec.InstantNow("fault " + ev.Kind.String())
+		})
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fssim/internal/isa"
 	"fssim/internal/machine"
 	"fssim/internal/memsim"
+	"fssim/internal/trace"
 )
 
 // Tunables controls the kernel's device timings and scheduler quantum, in
@@ -73,6 +74,14 @@ type Kernel struct {
 
 	timerOn bool
 	ticks   uint64
+
+	// Pre-resolved trace instruments. When the machine carries no recorder
+	// these are nil and every method call is a guarded no-op, so the hot
+	// paths pay one nil check rather than a map lookup.
+	trcTicks *trace.Counter
+	trcIRQs  *trace.Counter
+	trcCtxsw *trace.Counter
+	trcRunq  *trace.Gauge
 }
 
 // kernelText holds the simulated entry addresses of kernel functions, so
@@ -145,6 +154,12 @@ func New(m *machine.Machine, tun Tunables) *Kernel {
 	k.varXtime = k.heap.Alloc(64)
 	k.varRunq = k.heap.Alloc(256)
 
+	reg := m.Trace().Metrics()
+	k.trcTicks = reg.Counter("kernel.ticks")
+	k.trcIRQs = reg.Counter("kernel.irqs")
+	k.trcCtxsw = reg.Counter("kernel.ctxsw")
+	k.trcRunq = reg.Gauge("kernel.runq")
+
 	k.sched = newScheduler(k)
 	k.fs = newFS(k)
 	k.disk = newDisk(k)
@@ -215,6 +230,7 @@ func (k *Kernel) ContextSwitches() uint64 { return k.sched.Switches() }
 
 func (k *Kernel) timerFire() {
 	k.ticks++
+	k.trcTicks.Inc()
 	k.handleIRQ(isa.IrqTimer)
 	k.m.ScheduleAfter(k.tun.TimerPeriod, k.timerFire)
 }
@@ -224,6 +240,7 @@ func (k *Kernel) timerFire() {
 // return-from-interrupt preemption check, and closes the interval.
 func (k *Kernel) handleIRQ(vector uint16) {
 	e := k.e
+	k.trcIRQs.Inc()
 	k.m.KEnter(isa.Irq(vector))
 	e.Call(k.fn.irqEntry)
 	// Save registers, ack the APIC, bump irq counters.

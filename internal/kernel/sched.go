@@ -279,6 +279,8 @@ func (s *Scheduler) reschedule(blocked bool) {
 	}
 	s.scheduleBody()
 	s.switches++
+	s.k.trcCtxsw.Inc()
+	s.k.trcRunq.Set(int64(s.runnableCount()))
 	s.needResched = false
 	if !blocked {
 		t.state = tRunnable

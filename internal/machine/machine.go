@@ -20,6 +20,7 @@ import (
 	"fssim/internal/isa"
 	"fssim/internal/memsim"
 	"fssim/internal/memsys"
+	"fssim/internal/trace"
 )
 
 // SimMode selects what the simulation covers.
@@ -67,7 +68,7 @@ type Config struct {
 	Seed       int64
 
 	// Ablation switches for the acceleration scheme's side-effect models
-	// (both default to enabled; see DESIGN.md §5).
+	// (both default to enabled; see DESIGN.md §6).
 	NoPollution    bool // disable cache pollution injection (paper §4.5)
 	NoBusInjection bool // disable predicted bus-occupancy injection
 }
@@ -167,11 +168,13 @@ type Machine struct {
 	inInterval bool
 	curSvc     isa.ServiceID
 	curSig     Signature // emulation-observable counters of the open interval
+	curCause   trace.Cause
 	emulating  bool
 	delivering bool
 
 	sink     IntervalSink
 	observer func(IntervalRecord)
+	rec      *trace.Recorder     // nil unless tracing is enabled for the run
 	irq      func(vector uint16) // kernel's interrupt entry
 
 	startInsts  uint64
@@ -263,6 +266,18 @@ func (m *Machine) SetObserver(f func(IntervalRecord)) { m.observer = f }
 
 // SetIRQHandler registers the kernel's interrupt entry point.
 func (m *Machine) SetIRQHandler(f func(vector uint16)) { m.irq = f }
+
+// SetTrace attaches an interval recorder (nil disables tracing; every
+// instrumentation site is a guarded no-op in that case). The machine installs
+// itself as the recorder's clock so instants carry simulated cycles.
+func (m *Machine) SetTrace(r *trace.Recorder) {
+	m.rec = r
+	r.SetClock(m.Now)
+}
+
+// Trace returns the attached recorder (nil when tracing is off; the nil
+// recorder's methods — including Metrics() — are themselves no-ops).
+func (m *Machine) Trace() *trace.Recorder { return m.rec }
 
 // Now returns the global cycle counter (committed time plus predicted
 // fast-forward time already applied).
@@ -390,7 +405,7 @@ func (m *Machine) Exec(in *isa.Inst) {
 func (m *Machine) KEnter(svc isa.ServiceID) {
 	m.depth++
 	if m.depth == 1 && !m.inInterval {
-		m.openInterval(svc)
+		m.openInterval(svc, trace.CauseOf(svc))
 	}
 }
 
@@ -419,14 +434,15 @@ func (m *Machine) SetDepth(d int, svc isa.ServiceID) {
 		m.closeInterval()
 	}
 	if m.depth == 0 && d > 0 && !m.inInterval {
-		m.openInterval(svc)
+		m.openInterval(svc, trace.CauseResume)
 	}
 	m.depth = d
 }
 
-func (m *Machine) openInterval(svc isa.ServiceID) {
+func (m *Machine) openInterval(svc isa.ServiceID, cause trace.Cause) {
 	m.inInterval = true
 	m.curSvc = svc
+	m.curCause = cause
 	m.intervals++
 	m.startInsts = m.totalInsts
 	m.startCycles = m.core.Now()
@@ -506,6 +522,13 @@ func (m *Machine) closeInterval() {
 		}
 	}
 	m.emulating = false
+	if m.rec != nil {
+		// The sink's OnServiceEnd (above) may have staged a cluster
+		// annotation via Annotate; Interval consumes it here. For emulated
+		// intervals the span duration is the predicted cycles — the machine
+		// advanced Now to at most start+pred.Cycles, so spans never overlap.
+		m.rec.Interval(m.curSvc, m.curCause, m.startCycles, rec.Cycles, rec.Insts, rec.Emulated)
+	}
 	if m.observer != nil {
 		m.observer(rec)
 	}

@@ -1,6 +1,10 @@
 package stats
 
-import "sort"
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
 
 // Hist2D is a sparse two-dimensional histogram over fixed-size bins. The
 // characterization study uses it to build the paper's Fig 5 bubble plots
@@ -60,3 +64,88 @@ func (h *Hist2D) Total() int64 {
 // distinct behavior points (the paper's Fig 5 observation is that this stays
 // small even for thousands of invocations).
 func (h *Hist2D) NonEmpty() int { return len(h.cells) }
+
+// logHistBuckets is the number of power-of-two buckets a LogHist keeps:
+// bucket 0 covers [0, 1), bucket i covers [2^(i-1), 2^i), so the top regular
+// bucket ends at 2^63. Anything at or beyond that lands in the overflow
+// bucket; negative (or NaN) observations land in the out-of-range bucket.
+const logHistBuckets = 64
+
+// LogHist is a fixed-size power-of-two-bucketed histogram over non-negative
+// values, with running mean/variance via Welford and explicit out-of-range
+// and overflow buckets. The observability layer uses it for metrics whose
+// values span orders of magnitude (interval cycle counts, queue depths)
+// where uniform bins would be useless. The zero value is ready to use.
+type LogHist struct {
+	w        Welford
+	buckets  [logHistBuckets]int64
+	oob      int64 // negative or NaN observations
+	overflow int64 // observations >= 2^63
+	min, max float64
+}
+
+// Add records one observation. Negative and NaN values are counted in the
+// out-of-range bucket and excluded from the moments; values >= 2^63 are
+// counted in the overflow bucket but still contribute to the moments.
+func (h *LogHist) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		h.oob++
+		return
+	}
+	if h.w.N() == 0 || v < h.min {
+		h.min = v
+	}
+	if h.w.N() == 0 || v > h.max {
+		h.max = v
+	}
+	h.w.Add(v)
+	if v >= float64(uint64(1)<<63) {
+		h.overflow++
+		return
+	}
+	h.buckets[bits.Len64(uint64(v))]++
+}
+
+// N returns the number of in-range observations (overflow included,
+// out-of-range excluded).
+func (h *LogHist) N() int64 { return h.w.N() }
+
+// Mean returns the mean of in-range observations.
+func (h *LogHist) Mean() float64 { return h.w.Mean() }
+
+// Std returns the sample standard deviation of in-range observations.
+func (h *LogHist) Std() float64 { return h.w.Std() }
+
+// Min returns the smallest in-range observation (0 if empty).
+func (h *LogHist) Min() float64 { return h.min }
+
+// Max returns the largest in-range observation (0 if empty).
+func (h *LogHist) Max() float64 { return h.max }
+
+// OutOfRange returns the count of negative/NaN observations.
+func (h *LogHist) OutOfRange() int64 { return h.oob }
+
+// Overflow returns the count of observations >= 2^63.
+func (h *LogHist) Overflow() int64 { return h.overflow }
+
+// LogBucket is one non-empty LogHist bucket: [Lo, Hi) and its count.
+type LogBucket struct {
+	Lo, Hi float64
+	N      int64
+}
+
+// Buckets returns the non-empty regular buckets in ascending order.
+func (h *LogHist) Buckets() []LogBucket {
+	var out []LogBucket
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(uint64(1) << (i - 1))
+		}
+		out = append(out, LogBucket{Lo: lo, Hi: float64(uint64(1) << i), N: n})
+	}
+	return out
+}

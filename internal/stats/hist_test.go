@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHist2DEmpty covers the zero-observation histogram: no cells, zero
+// total, and Cells must return an empty (not nil-panicking) slice.
+func TestHist2DEmpty(t *testing.T) {
+	h := NewHist2D(1000, 4000)
+	if h.Total() != 0 {
+		t.Errorf("empty Total = %d", h.Total())
+	}
+	if h.NonEmpty() != 0 {
+		t.Errorf("empty NonEmpty = %d", h.NonEmpty())
+	}
+	if cells := h.Cells(); len(cells) != 0 {
+		t.Errorf("empty Cells = %v", cells)
+	}
+}
+
+// TestHist2DSingleSample pins the bin-center math for one observation.
+func TestHist2DSingleSample(t *testing.T) {
+	h := NewHist2D(1000, 4000)
+	h.Add(1500, 9000) // bins (1, 2) -> centers (1500, 10000)
+	if h.Total() != 1 || h.NonEmpty() != 1 {
+		t.Fatalf("Total %d NonEmpty %d, want 1/1", h.Total(), h.NonEmpty())
+	}
+	c := h.Cells()[0]
+	if c.X != 1500 || c.Y != 10000 || c.Count != 1 {
+		t.Errorf("cell = %+v, want X=1500 Y=10000 Count=1", c)
+	}
+}
+
+// TestHist2DBinningAndOrder covers multi-sample aggregation and the sorted
+// Cells contract, including the boundary sample that opens a new bin.
+func TestHist2DBinningAndOrder(t *testing.T) {
+	h := NewHist2D(10, 10)
+	h.Add(1, 1)
+	h.Add(9.99, 9.99) // same bin as (1,1)
+	h.Add(10, 0)      // x boundary opens bin 1
+	h.Add(0, 10)      // y boundary opens bin 1
+	if h.Total() != 4 || h.NonEmpty() != 3 {
+		t.Fatalf("Total %d NonEmpty %d, want 4/3", h.Total(), h.NonEmpty())
+	}
+	cells := h.Cells()
+	for i := 1; i < len(cells); i++ {
+		a, b := cells[i-1], cells[i]
+		if a.X > b.X || (a.X == b.X && a.Y > b.Y) {
+			t.Errorf("cells not (X,Y)-sorted: %v", cells)
+		}
+	}
+	if cells[0].Count != 2 {
+		t.Errorf("shared bin count = %d, want 2: %v", cells[0].Count, cells)
+	}
+}
+
+func TestLogHistEmpty(t *testing.T) {
+	var h LogHist // zero value must be usable
+	if h.N() != 0 || h.Mean() != 0 || h.Std() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty LogHist has non-zero moments")
+	}
+	if h.OutOfRange() != 0 || h.Overflow() != 0 {
+		t.Error("empty LogHist has bucket counts")
+	}
+	if b := h.Buckets(); len(b) != 0 {
+		t.Errorf("empty Buckets = %v", b)
+	}
+}
+
+func TestLogHistSingleSample(t *testing.T) {
+	var h LogHist
+	h.Add(6) // [4, 8) bucket
+	if h.N() != 1 || h.Mean() != 6 || h.Min() != 6 || h.Max() != 6 {
+		t.Errorf("single-sample moments wrong: N=%d mean=%g min=%g max=%g",
+			h.N(), h.Mean(), h.Min(), h.Max())
+	}
+	if h.Std() != 0 {
+		t.Errorf("single-sample Std = %g, want 0", h.Std())
+	}
+	b := h.Buckets()
+	if len(b) != 1 || b[0].Lo != 4 || b[0].Hi != 8 || b[0].N != 1 {
+		t.Errorf("buckets = %v, want one [4,8) bucket", b)
+	}
+}
+
+// TestLogHistOutOfRangeAndOverflow covers the two special buckets: negative
+// and NaN observations land out-of-range (excluded from moments); values at
+// or beyond 2^63 land in the overflow bucket (included in moments).
+func TestLogHistOutOfRangeAndOverflow(t *testing.T) {
+	var h LogHist
+	h.Add(-1)
+	h.Add(math.NaN())
+	if h.OutOfRange() != 2 || h.N() != 0 {
+		t.Errorf("oob = %d N = %d, want 2/0", h.OutOfRange(), h.N())
+	}
+
+	huge := math.Ldexp(1, 70) // 2^70
+	h.Add(huge)
+	h.Add(math.Ldexp(1, 63)) // exactly 2^63: first value past the top bucket
+	if h.Overflow() != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.N() != 2 || h.Max() != huge {
+		t.Errorf("overflow values excluded from moments: N=%d max=%g", h.N(), h.Max())
+	}
+	if b := h.Buckets(); len(b) != 0 {
+		t.Errorf("overflow values must not occupy regular buckets: %v", b)
+	}
+
+	// Boundary below the overflow cutoff stays in the top regular bucket.
+	h.Add(math.Ldexp(1, 62)) // 2^62 -> [2^62, 2^63)
+	b := h.Buckets()
+	if len(b) != 1 || b[0].Lo != math.Ldexp(1, 62) || b[0].Hi != math.Ldexp(1, 63) {
+		t.Errorf("top regular bucket wrong: %v", b)
+	}
+
+	// Zero and sub-1 values share bucket 0: [0, 1).
+	var z LogHist
+	z.Add(0)
+	z.Add(0.5)
+	b = z.Buckets()
+	if len(b) != 1 || b[0].Lo != 0 || b[0].Hi != 1 || b[0].N != 2 {
+		t.Errorf("[0,1) bucket wrong: %v", b)
+	}
+}

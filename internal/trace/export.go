@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event object. Field order (and therefore
+// byte-level output) is fixed by the struct; Dur is a pointer so duration
+// appears on every complete ("X") event — zero included, the format requires
+// it — but not on metadata or instant events.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeExporter streams recorders into one Chrome trace-event JSON document
+// (the "JSON Object Format": {"traceEvents": [...]}), which Perfetto and
+// chrome://tracing load directly. Each recorder becomes one process (pid) —
+// the harness uses one per simulated machine — and each OS service within it
+// one named thread (tid), so the UI shows one track per CPU/service.
+// Timestamps are simulated cycles written as the format's microsecond field.
+type ChromeExporter struct {
+	w       io.Writer
+	nextPID int
+	started bool
+	closed  bool
+	err     error
+}
+
+// NewChromeExporter starts a document on w. Call AddProcess for each
+// recorder, then Close to terminate the JSON.
+func NewChromeExporter(w io.Writer) *ChromeExporter { return &ChromeExporter{w: w, nextPID: 1} }
+
+func (x *ChromeExporter) emit(ev chromeEvent) {
+	if x.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		x.err = err
+		return
+	}
+	sep := ",\n  "
+	if !x.started {
+		sep = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n  "
+		x.started = true
+	}
+	if _, err := io.WriteString(x.w, sep); err != nil {
+		x.err = err
+		return
+	}
+	_, x.err = x.w.Write(b)
+}
+
+// AddProcess exports one recorder under the given process label, assigning
+// the next pid. Recorders must be quiescent (their run finished).
+func (x *ChromeExporter) AddProcess(label string, r *Recorder) error {
+	if x.closed {
+		return errors.New("trace: AddProcess after Close")
+	}
+	pid := x.nextPID
+	x.nextPID++
+	x.emit(chromeEvent{Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": label}})
+	if dropped := r.Dropped(); dropped > 0 {
+		x.emit(chromeEvent{Name: "process_labels", Ph: "M", PID: pid,
+			Args: map[string]any{"labels": fmt.Sprintf("%d spans dropped", dropped)}})
+	}
+	// One named track per OS service, tids in first-seen order.
+	tids := make(map[string]int)
+	for _, svc := range r.Services() {
+		name := svc.String()
+		tids[name] = len(tids) + 1
+		x.emit(chromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tids[name],
+			Args: map[string]any{"name": name}})
+	}
+	for _, sp := range r.Spans() {
+		dur := sp.Cycles
+		x.emit(chromeEvent{
+			Name: sp.Service.String(), Ph: "X", TS: sp.Start, Dur: &dur,
+			PID: pid, TID: tids[sp.Service.String()], Cat: sp.Cause.String(),
+			Args: map[string]any{
+				"insts":     sp.Insts,
+				"predicted": sp.Predicted,
+				"cluster":   sp.Cluster,
+				"outlier":   sp.Outlier,
+			},
+		})
+	}
+	for _, in := range r.Instants() {
+		x.emit(chromeEvent{Name: in.Name, Ph: "i", TS: in.TS, PID: pid, S: "p"})
+	}
+	return x.err
+}
+
+// Close terminates the JSON document. The exporter cannot be reused.
+func (x *ChromeExporter) Close() error {
+	if x.closed {
+		return x.err
+	}
+	x.closed = true
+	if x.err != nil {
+		return x.err
+	}
+	if !x.started {
+		_, x.err = io.WriteString(x.w, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [")
+	}
+	if x.err == nil {
+		_, x.err = io.WriteString(x.w, "\n]}\n")
+	}
+	return x.err
+}
+
+// WriteChrome is the one-recorder convenience wrapper around ChromeExporter.
+func WriteChrome(w io.Writer, label string, r *Recorder) error {
+	x := NewChromeExporter(w)
+	if err := x.AddProcess(label, r); err != nil {
+		return err
+	}
+	return x.Close()
+}
+
+// jsonlSpan is the JSONL stream's span line.
+type jsonlSpan struct {
+	Run       string `json:"run,omitempty"`
+	Service   string `json:"service"`
+	Cause     string `json:"cause"`
+	Start     uint64 `json:"start"`
+	Cycles    uint64 `json:"cycles"`
+	Insts     uint64 `json:"insts"`
+	Predicted bool   `json:"predicted"`
+	Cluster   int32  `json:"cluster"`
+	Outlier   bool   `json:"outlier"`
+}
+
+// jsonlInstant is the JSONL stream's point-event line.
+type jsonlInstant struct {
+	Run     string `json:"run,omitempty"`
+	Instant string `json:"instant"`
+	TS      uint64 `json:"ts"`
+}
+
+// WriteJSONL streams the recorder's spans (then instants) as one compact
+// JSON object per line — the offline-analysis format. run labels every line
+// so streams from many runs can be concatenated and still disentangled.
+func WriteJSONL(w io.Writer, run string, r *Recorder) error {
+	enc := json.NewEncoder(w)
+	for _, sp := range r.Spans() {
+		if err := enc.Encode(jsonlSpan{
+			Run: run, Service: sp.Service.String(), Cause: sp.Cause.String(),
+			Start: sp.Start, Cycles: sp.Cycles, Insts: sp.Insts,
+			Predicted: sp.Predicted, Cluster: sp.Cluster, Outlier: sp.Outlier,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, in := range r.Instants() {
+		if err := enc.Encode(jsonlInstant{Run: run, Instant: in.Name, TS: in.TS}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

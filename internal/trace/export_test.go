@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fssim/internal/isa"
+)
+
+func sampleRecorder() *Recorder {
+	r := NewRecorder(Config{})
+	r.Annotate(0, false)
+	r.Interval(isa.Sys(isa.SysRead), CauseSyscall, 100, 50, 20, false)
+	r.Annotate(1, true)
+	r.Interval(isa.Sys(isa.SysRead), CauseSyscall, 400, 80, 30, true)
+	r.Interval(isa.Irq(isa.IrqTimer), CauseIRQ, 600, 0, 0, false) // zero-length interval
+	r.Instant("degrade sys_read", 700)
+	return r
+}
+
+// TestChromeTraceFormat validates the exported Chrome trace-event JSON
+// against the format's required fields — ph, ts, dur, pid/tid, name — so the
+// file is guaranteed to load in Perfetto / chrome://tracing.
+func TestChromeTraceFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, "ab-rand/App+OS", sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string                       `json:"displayTimeUnit"`
+		TraceEvents     []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	var complete, meta, instants int
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"ph", "name", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing required field %q: %v", i, field, ev)
+			}
+		}
+		var ph, name string
+		if err := json.Unmarshal(ev["ph"], &ph); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(ev["name"], &name); err != nil {
+			t.Fatal(err)
+		}
+		switch ph {
+		case "X":
+			complete++
+			for _, field := range []string{"ts", "dur", "args"} {
+				if _, ok := ev[field]; !ok {
+					t.Errorf("complete event %q missing %q", name, field)
+				}
+			}
+			var dur uint64
+			if err := json.Unmarshal(ev["dur"], &dur); err != nil {
+				t.Errorf("complete event %q dur not numeric: %v", name, err)
+			}
+		case "M":
+			meta++
+		case "i":
+			instants++
+			if _, ok := ev["ts"]; !ok {
+				t.Errorf("instant %q missing ts", name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+	}
+	if complete != 3 {
+		t.Errorf("complete events = %d, want 3 (one per span, zero-dur included)", complete)
+	}
+	if instants != 1 {
+		t.Errorf("instant events = %d, want 1", instants)
+	}
+	// process_name + two thread_name events.
+	if meta != 3 {
+		t.Errorf("metadata events = %d, want 3", meta)
+	}
+}
+
+// TestChromeExportDeterminism: identical recorders must export identical
+// bytes — the unit-level form of the harness's j1-vs-j8 guarantee.
+func TestChromeExportDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, "run", sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, "run", sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical recorders exported different bytes")
+	}
+}
+
+func TestChromeExporterMultiProcessAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	x := NewChromeExporter(&buf)
+	if err := x.AddProcess("one", sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AddProcess("two", sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			PID int `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		pids[ev.PID] = true
+	}
+	if !pids[1] || !pids[2] {
+		t.Errorf("expected pids 1 and 2, got %v", pids)
+	}
+	if err := x.AddProcess("late", sampleRecorder()); err == nil {
+		t.Error("AddProcess after Close must fail")
+	}
+
+	// An empty document must still be valid JSON.
+	var empty bytes.Buffer
+	if err := NewChromeExporter(&empty).Close(); err != nil {
+		t.Fatal(err)
+	}
+	var d2 map[string]any
+	if err := json.Unmarshal(empty.Bytes(), &d2); err != nil {
+		t.Fatalf("empty export invalid: %v\n%s", err, empty.String())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, "ab-rand", sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	var sawInstant bool
+	for sc.Scan() {
+		lines++
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d invalid JSON: %v", lines, err)
+		}
+		if obj["run"] != "ab-rand" {
+			t.Errorf("line %d missing run label: %v", lines, obj)
+		}
+		if _, ok := obj["instant"]; ok {
+			sawInstant = true
+			continue
+		}
+		svc, _ := obj["service"].(string)
+		if !strings.HasPrefix(svc, "sys_") && !strings.HasPrefix(svc, "Int_") {
+			t.Errorf("line %d unexpected service %q", lines, svc)
+		}
+	}
+	if lines != 4 || !sawInstant {
+		t.Errorf("lines = %d (want 4), instant seen = %v", lines, sawInstant)
+	}
+}

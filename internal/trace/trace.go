@@ -1,0 +1,337 @@
+// Package trace is the simulator's observability layer: a per-machine,
+// ring-buffered recorder of OS-service interval spans, a typed metrics
+// registry, and exporters for Chrome trace-event JSON (loads in Perfetto), a
+// plaintext /metrics-style dump, and a compact JSONL stream.
+//
+// Two properties shape every API in the package:
+//
+//   - Zero overhead when off. A nil *Recorder (and the nil *Registry,
+//     *Counter, *Gauge, *Histogram it hands out) is a valid receiver whose
+//     methods are guarded no-ops, so instrumentation sites compile down to a
+//     nil check and the simulation's results are byte-identical with tracing
+//     absent or disabled.
+//
+//   - Determinism. A recorder is written from exactly one machine's
+//     simulation context (the kernel's thread-handoff protocol guarantees a
+//     single driving goroutine), timestamps are simulated cycles, and every
+//     exporter emits in a deterministically sorted order — so traces from
+//     the experiment harness are byte-identical at any parallelism level,
+//     consistent with the RunKey seed-derivation scheme.
+package trace
+
+import (
+	"sort"
+
+	"fssim/internal/isa"
+)
+
+// Cause classifies what opened an OS-service interval: a synchronous system
+// call, an asynchronous interrupt, a fault, or the scheduler re-entering a
+// kernel-blocked context from the idle loop (the paper's "extension of the
+// initial OS service").
+type Cause uint8
+
+const (
+	CauseSyscall Cause = iota
+	CauseIRQ
+	CauseException
+	CauseResume
+)
+
+var causeNames = [...]string{"syscall", "irq", "exception", "resume"}
+
+func (c Cause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return "cause(?)"
+}
+
+// CauseOf maps a service identifier's kind to its interval cause.
+func CauseOf(svc isa.ServiceID) Cause {
+	switch svc.Kind {
+	case isa.KindInterrupt:
+		return CauseIRQ
+	case isa.KindException:
+		return CauseException
+	default:
+		return CauseSyscall
+	}
+}
+
+// Span is one completed OS-service interval. Nested services are already
+// folded (the machine opens one interval per user→kernel transition and
+// closes it at the matching return, per the paper's §3 interval rules), so
+// spans on one machine never overlap. Cluster is the PLT cluster index the
+// interval matched or was learned into (-1 when unknown, e.g. warm-up);
+// Outlier marks predicted intervals whose signature matched no cluster.
+type Span struct {
+	Service   isa.ServiceID
+	Cause     Cause
+	Start     uint64 // simulated cycle the interval opened
+	Cycles    uint64 // interval duration: measured, or predicted for emulated intervals
+	Insts     uint64 // dynamic instructions attributed to the interval
+	Predicted bool   // true when the interval was fast-forwarded
+	Cluster   int32
+	Outlier   bool
+}
+
+// Instant is a point event on the timeline (learner phase transitions,
+// watchdog degrades, fault dispatches).
+type Instant struct {
+	Name string
+	TS   uint64
+}
+
+// ServiceTotal aggregates all spans of one service, maintained as spans are
+// recorded so totals survive ring eviction.
+type ServiceTotal struct {
+	Service   isa.ServiceID
+	Spans     uint64
+	Cycles    uint64
+	Insts     uint64
+	Predicted uint64 // spans that were fast-forwarded
+	Outliers  uint64
+}
+
+// Config sizes a recorder.
+type Config struct {
+	// SpanCap bounds retained spans; older spans are evicted ring-style and
+	// counted as dropped (service totals are unaffected). <= 0 = default.
+	SpanCap int
+	// InstantCap bounds retained instants the same way. <= 0 = default.
+	InstantCap int
+}
+
+// DefaultConfig retains 64K spans and 4K instants (~4 MB per machine).
+func DefaultConfig() Config { return Config{SpanCap: 1 << 16, InstantCap: 1 << 12} }
+
+// Recorder collects one machine's spans, instants, and metrics. It is
+// intentionally lock-free: the simulation's single-driver discipline means
+// at most one goroutine records at a time (goroutine handoffs establish
+// happens-before edges), and exporters run after the simulation completes.
+// All methods are no-ops on a nil receiver.
+type Recorder struct {
+	cfg      Config
+	spans    []Span // ring storage, capacity cfg.SpanCap
+	nSpans   uint64 // total spans ever recorded
+	instants []Instant
+	nInst    uint64
+
+	reg   *Registry
+	clock func() uint64 // simulated-cycle source for InstantNow (set by the machine)
+
+	// Pre-resolved per-interval histograms (avoid a registry lookup per span).
+	hCycles *Histogram
+	hInsts  *Histogram
+
+	// Pending cluster annotation: set by the predictor/learner during the
+	// interval-end callback, consumed by the next Interval call (same
+	// goroutine, so ordering is structural, not timing-dependent).
+	pendCluster int32
+	pendOutlier bool
+	pendSet     bool
+
+	totals map[isa.ServiceID]*ServiceTotal
+	order  []isa.ServiceID
+}
+
+// NewRecorder returns an enabled recorder.
+func NewRecorder(cfg Config) *Recorder {
+	def := DefaultConfig()
+	if cfg.SpanCap <= 0 {
+		cfg.SpanCap = def.SpanCap
+	}
+	if cfg.InstantCap <= 0 {
+		cfg.InstantCap = def.InstantCap
+	}
+	r := &Recorder{
+		cfg:    cfg,
+		reg:    NewRegistry(),
+		totals: make(map[isa.ServiceID]*ServiceTotal),
+	}
+	r.hCycles = r.reg.Histogram("interval.cycles")
+	r.hInsts = r.reg.Histogram("interval.insts")
+	return r
+}
+
+// Enabled reports whether the recorder is live (false for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Metrics returns the recorder's registry (nil for a nil recorder; the nil
+// registry's methods are themselves no-ops).
+func (r *Recorder) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// SetClock installs the simulated-cycle source InstantNow stamps events with.
+func (r *Recorder) SetClock(fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.clock = fn
+}
+
+// Now returns the current simulated cycle (0 without a clock).
+func (r *Recorder) Now() uint64 {
+	if r == nil || r.clock == nil {
+		return 0
+	}
+	return r.clock()
+}
+
+// Annotate stages the PLT cluster outcome for the interval currently being
+// closed; the next Interval call consumes it. Callers sit between the
+// machine's interval-end callback and its span emission, so the annotation
+// can never attach to the wrong span.
+func (r *Recorder) Annotate(cluster int, outlier bool) {
+	if r == nil {
+		return
+	}
+	r.pendCluster = int32(cluster)
+	r.pendOutlier = outlier
+	r.pendSet = true
+}
+
+// Interval records one completed OS-service interval, consuming any staged
+// annotation.
+func (r *Recorder) Interval(svc isa.ServiceID, cause Cause, start, cycles, insts uint64, predicted bool) {
+	if r == nil {
+		return
+	}
+	sp := Span{
+		Service: svc, Cause: cause,
+		Start: start, Cycles: cycles, Insts: insts,
+		Predicted: predicted, Cluster: -1,
+	}
+	if r.pendSet {
+		sp.Cluster = r.pendCluster
+		sp.Outlier = r.pendOutlier
+		r.pendSet = false
+	}
+	if len(r.spans) < r.cfg.SpanCap {
+		r.spans = append(r.spans, sp)
+	} else {
+		r.spans[r.nSpans%uint64(r.cfg.SpanCap)] = sp
+	}
+	r.nSpans++
+
+	t := r.totals[svc]
+	if t == nil {
+		t = &ServiceTotal{Service: svc}
+		r.totals[svc] = t
+		r.order = append(r.order, svc)
+	}
+	t.Spans++
+	t.Cycles += cycles
+	t.Insts += insts
+	r.hCycles.Observe(float64(cycles))
+	r.hInsts.Observe(float64(insts))
+	if predicted {
+		t.Predicted++
+	}
+	if sp.Outlier {
+		t.Outliers++
+	}
+}
+
+// Instant records a point event at the given simulated cycle.
+func (r *Recorder) Instant(name string, ts uint64) {
+	if r == nil {
+		return
+	}
+	in := Instant{Name: name, TS: ts}
+	if len(r.instants) < r.cfg.InstantCap {
+		r.instants = append(r.instants, in)
+	} else {
+		r.instants[r.nInst%uint64(r.cfg.InstantCap)] = in
+	}
+	r.nInst++
+}
+
+// InstantNow records a point event stamped with the machine clock.
+func (r *Recorder) InstantNow(name string) {
+	if r == nil {
+		return
+	}
+	r.Instant(name, r.Now())
+}
+
+// Spans returns the retained spans oldest-first. The slice is a copy.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return ringSlice(r.spans, r.nSpans, r.cfg.SpanCap)
+}
+
+// Instants returns the retained instants oldest-first. The slice is a copy.
+func (r *Recorder) Instants() []Instant {
+	if r == nil {
+		return nil
+	}
+	return ringSlice(r.instants, r.nInst, r.cfg.InstantCap)
+}
+
+// ringSlice linearizes a ring buffer into a fresh oldest-first slice.
+func ringSlice[T any](ring []T, n uint64, capacity int) []T {
+	out := make([]T, 0, len(ring))
+	if n <= uint64(len(ring)) {
+		return append(out, ring...)
+	}
+	head := int(n % uint64(capacity))
+	out = append(out, ring[head:]...)
+	return append(out, ring[:head]...)
+}
+
+// Recorded returns the total number of spans ever recorded.
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.nSpans
+}
+
+// Dropped returns how many spans were evicted from the ring.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	if kept := uint64(len(r.spans)); r.nSpans > kept {
+		return r.nSpans - kept
+	}
+	return 0
+}
+
+// Services returns every service ever recorded, in first-seen order (a
+// deterministic consequence of the simulation's own event order).
+func (r *Recorder) Services() []isa.ServiceID {
+	if r == nil {
+		return nil
+	}
+	out := make([]isa.ServiceID, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// ServiceTotals returns per-service aggregates sorted by cycles descending
+// (ties broken by service name, so the order is deterministic).
+func (r *Recorder) ServiceTotals() []ServiceTotal {
+	if r == nil {
+		return nil
+	}
+	out := make([]ServiceTotal, 0, len(r.order))
+	for _, svc := range r.order {
+		out = append(out, *r.totals[svc])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Service.String() < out[j].Service.String()
+	})
+	return out
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"testing"
+
+	"fssim/internal/isa"
+)
+
+// TestNilRecorderIsInert is the zero-overhead-when-off contract: every method
+// of a nil recorder (and of the nil registry/instruments it hands out) must
+// be a safe no-op, so instrumentation sites need no enablement branches.
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.SetClock(func() uint64 { return 42 })
+	r.Annotate(3, true)
+	r.Interval(isa.Sys(isa.SysRead), CauseSyscall, 0, 10, 5, false)
+	r.Instant("x", 1)
+	r.InstantNow("y")
+	if r.Now() != 0 || r.Recorded() != 0 || r.Dropped() != 0 {
+		t.Error("nil recorder returned non-zero state")
+	}
+	if r.Spans() != nil || r.Instants() != nil || r.Services() != nil || r.ServiceTotals() != nil {
+		t.Error("nil recorder returned non-nil slices")
+	}
+	reg := r.Metrics()
+	if reg != nil {
+		t.Fatal("nil recorder returned non-nil registry")
+	}
+	reg.Counter("c").Inc()
+	reg.Counter("c").Add(5)
+	reg.Gauge("g").Set(7)
+	reg.Gauge("g").Add(-2)
+	reg.Histogram("h").Observe(3)
+	if got := reg.Counter("c").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	if snap := reg.Snapshot(); snap != nil {
+		t.Errorf("nil registry snapshot = %v", snap)
+	}
+}
+
+func TestIntervalRecordingAndTotals(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.SetClock(func() uint64 { return 99 })
+	read, timer := isa.Sys(isa.SysRead), isa.Irq(isa.IrqTimer)
+
+	r.Annotate(2, false)
+	r.Interval(read, CauseSyscall, 100, 50, 20, false)
+	r.Interval(timer, CauseIRQ, 200, 30, 10, true) // no annotation staged
+	r.Annotate(-1, true)
+	r.Interval(read, CauseSyscall, 300, 60, 25, true)
+
+	spans := r.Spans()
+	if len(spans) != 3 || r.Recorded() != 3 {
+		t.Fatalf("got %d spans, recorded %d", len(spans), r.Recorded())
+	}
+	if spans[0].Cluster != 2 || spans[0].Outlier {
+		t.Errorf("span 0 annotation not consumed: %+v", spans[0])
+	}
+	if spans[1].Cluster != -1 || spans[1].Outlier {
+		t.Errorf("span 1 should be unannotated: %+v", spans[1])
+	}
+	if spans[2].Cluster != -1 || !spans[2].Outlier {
+		t.Errorf("span 2 annotation lost: %+v", spans[2])
+	}
+	if svcs := r.Services(); len(svcs) != 2 || svcs[0] != read || svcs[1] != timer {
+		t.Errorf("services order = %v", svcs)
+	}
+
+	totals := r.ServiceTotals()
+	if len(totals) != 2 {
+		t.Fatalf("totals = %v", totals)
+	}
+	// sys_read: 50+60 = 110 cycles > timer's 30; sorted by cycles desc.
+	if totals[0].Service != read || totals[0].Cycles != 110 || totals[0].Spans != 2 ||
+		totals[0].Predicted != 1 || totals[0].Outliers != 1 {
+		t.Errorf("read total = %+v", totals[0])
+	}
+
+	r.InstantNow("degrade sys_read")
+	if ins := r.Instants(); len(ins) != 1 || ins[0].TS != 99 || ins[0].Name != "degrade sys_read" {
+		t.Errorf("instants = %v", ins)
+	}
+}
+
+// TestRingEviction verifies the ring keeps the newest SpanCap spans, counts
+// drops, and leaves service totals complete.
+func TestRingEviction(t *testing.T) {
+	r := NewRecorder(Config{SpanCap: 4, InstantCap: 2})
+	svc := isa.Sys(isa.SysWrite)
+	for i := uint64(0); i < 10; i++ {
+		r.Interval(svc, CauseSyscall, i*100, 10, 5, false)
+	}
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, sp := range spans {
+		if want := uint64(6+i) * 100; sp.Start != want {
+			t.Errorf("span %d start = %d, want %d (oldest-first order)", i, sp.Start, want)
+		}
+	}
+	if r.Recorded() != 10 || r.Dropped() != 6 {
+		t.Errorf("recorded %d dropped %d, want 10/6", r.Recorded(), r.Dropped())
+	}
+	if tot := r.ServiceTotals(); tot[0].Spans != 10 || tot[0].Cycles != 100 {
+		t.Errorf("totals must survive eviction: %+v", tot[0])
+	}
+	for i := uint64(0); i < 5; i++ {
+		r.Instant("i", i)
+	}
+	if ins := r.Instants(); len(ins) != 2 || ins[0].TS != 3 || ins[1].TS != 4 {
+		t.Errorf("instants after eviction = %v", ins)
+	}
+}
+
+func TestCauseOf(t *testing.T) {
+	cases := map[isa.ServiceID]Cause{
+		isa.Sys(isa.SysRead):      CauseSyscall,
+		isa.Irq(isa.IrqTimer):     CauseIRQ,
+		isa.Exc(isa.ExcPageFault): CauseException,
+	}
+	for svc, want := range cases {
+		if got := CauseOf(svc); got != want {
+			t.Errorf("CauseOf(%v) = %v, want %v", svc, got, want)
+		}
+	}
+	if CauseResume.String() != "resume" || CauseIRQ.String() != "irq" {
+		t.Error("cause names wrong")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fssim/internal/guest"
 	"fssim/internal/kernel"
 	"fssim/internal/machine"
+	"fssim/internal/trace"
 )
 
 // ErrUnknown is wrapped by Lookup/Run for unregistered benchmark names.
@@ -179,6 +180,12 @@ type Options struct {
 	Sink     machine.IntervalSink
 	Observer func(machine.IntervalRecord)
 
+	// Trace, if non-nil, attaches an interval recorder to the machine before
+	// the kernel is built, so every subsystem resolves its instruments against
+	// the run's registry. Nil (the default) keeps every instrumentation site a
+	// guarded no-op and the simulation byte-identical to an untraced run.
+	Trace *trace.Recorder
+
 	// Prepare, if set, runs after workload setup and before the simulation
 	// starts — the hook fault plans use to install their event schedules.
 	Prepare func(k *kernel.Kernel)
@@ -203,6 +210,10 @@ type Result struct {
 	Machine *machine.Machine
 	Kernel  *kernel.Kernel
 	Stats   machine.Stats
+	// Trace is the recorder passed in Options.Trace (nil when untraced), and
+	// Metrics its registry snapshot taken when the simulation finished.
+	Trace   *trace.Recorder
+	Metrics trace.Snapshot
 	// Wall is the host wall-clock time the simulation took; the experiment
 	// harness aggregates it to report saved work when runs are memoized.
 	Wall time.Duration
@@ -230,8 +241,20 @@ func Run(name string, opts Options) (res Result, err error) {
 	}
 	m := machine.New(opts.Machine)
 	res.Machine = m
+	if opts.Trace != nil {
+		// Attach before kernel.New so the kernel (and everything after it)
+		// resolves instruments against the run's registry.
+		m.SetTrace(opts.Trace)
+		res.Trace = opts.Trace
+	}
 	if opts.Sink != nil {
 		m.SetSink(opts.Sink)
+		// An acceleration engine that understands recorders (the Accelerator
+		// does) annotates spans with PLT outcomes and emits phase instants.
+		type recorderSetter interface{ SetRecorder(*trace.Recorder) }
+		if rs, ok := opts.Sink.(recorderSetter); ok && opts.Trace != nil {
+			rs.SetRecorder(opts.Trace)
+		}
 	}
 	if opts.Observer != nil {
 		m.SetObserver(opts.Observer)
@@ -269,5 +292,8 @@ func Run(name string, opts Options) (res Result, err error) {
 	}
 	err = k.Run()
 	res.Stats = m.Stats()
+	if opts.Trace.Enabled() {
+		res.Metrics = opts.Trace.Metrics().Snapshot()
+	}
 	return res, err
 }

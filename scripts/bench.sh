@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and write a machine-readable baseline.
+#
+# The repo keeps one BENCH_<pr>.json per PR so the benchmark trajectory is
+# diffable across the stack: each entry records ns/op, B/op and allocs/op for
+# every benchmark in bench_test.go (one per paper artifact, plus ablations
+# and substrate micro-benchmarks).
+#
+# Usage:
+#   scripts/bench.sh                  # full suite, 1 iteration each
+#   BENCHTIME=3x scripts/bench.sh     # more iterations (slower, steadier)
+#   BENCH_PATTERN=Fig scripts/bench.sh  # subset by regex
+#   BENCH_OUT=BENCH_dev.json scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_3.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+PATTERN="${BENCH_PATTERN:-.}"
+
+RAW="$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem -timeout 60m .)"
+printf '%s\n' "$RAW"
+
+printf '%s\n' "$RAW" | awk -v out="$OUT" -v benchtime="$BENCHTIME" \
+    -v goversion="$(go env GOVERSION)" '
+/^Benchmark/ {
+    name = $1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+    entry = sprintf("    {\"name\": %s, \"iters\": %s, \"ns_per_op\": %s", \
+                    q(name), $2, $3)
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "B/op")      entry = entry sprintf(", \"bytes_per_op\": %s", $i)
+        if ($(i+1) == "allocs/op") entry = entry sprintf(", \"allocs_per_op\": %s", $i)
+    }
+    entries[n++] = entry "}"
+}
+function q(s) { gsub(/"/, "\\\"", s); return "\"" s "\"" }
+END {
+    if (n == 0) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"go\": %s,\n  \"benchtime\": %s,\n  \"benchmarks\": [\n", \
+           q(goversion), q(benchtime) > out
+    for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n-1 ? "," : "") > out
+    printf "  ]\n}\n" > out
+    printf "bench.sh: wrote %s (%d benchmarks)\n", out, n > "/dev/stderr"
+}'
