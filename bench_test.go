@@ -1,5 +1,5 @@
 // Package fssim's benchmark harness: one testing.B benchmark per paper
-// artifact (Figures 1-12, Tables 1-2), the DESIGN.md §6 ablations, and
+// artifact (Figures 1-12, Tables 1-2), the DESIGN.md §7 ablations, and
 // micro-benchmarks of the simulator substrate. Run with:
 //
 //	go test -bench=. -benchmem
@@ -10,7 +10,9 @@
 package fssim_test
 
 import (
+	"context"
 	"math"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
@@ -22,6 +24,7 @@ import (
 	"fssim/internal/isa"
 	"fssim/internal/machine"
 	"fssim/internal/memsys"
+	"fssim/internal/server"
 	"fssim/internal/workload"
 )
 
@@ -185,7 +188,7 @@ func BenchmarkTable2(b *testing.B) {
 	b.ReportMetric(cell(g[3]), "gmean-speedup")
 }
 
-// --- Ablations (DESIGN.md §6) ----------------------------------------------
+// --- Ablations (DESIGN.md §7) ----------------------------------------------
 
 func accelError(b *testing.B, bench string, tweakM func(*machine.Config),
 	tweakP func(*core.Params)) (errFrac, coverage float64) {
@@ -403,6 +406,33 @@ func BenchmarkExtensionPrefetch(b *testing.B) {
 			m.Mem = m.Mem.WithPrefetch()
 		})
 		b.ReportMetric(float64(base.Cycles)/float64(pf.Cycles), "prefetch-speedup")
+	}
+}
+
+// BenchmarkServerRunRequest measures the serving front-end's per-request
+// overhead on the memo-cache hit path (admission, breaker, singleflight
+// lookup, JSON response) — the simulation itself runs once, outside the
+// timed loop. This is the latency floor a warm fssimd adds over the raw
+// scheduler.
+func BenchmarkServerRunRequest(b *testing.B) {
+	srv := server.New(server.Config{Scale: benchScale})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := server.NewClient(hs.URL)
+	req := server.RunRequest{Benchmark: "gzip", Mode: "app", Seed: 1}
+	ctx := context.Background()
+	if _, err := c.Run(ctx, req); err != nil { // warm the memo cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Run(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cache != "hit" {
+			b.Fatalf("cache status %q, want hit", res.Cache)
+		}
 	}
 }
 

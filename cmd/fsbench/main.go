@@ -39,6 +39,7 @@ import (
 
 	"fssim/internal/experiments"
 	"fssim/internal/faults"
+	"fssim/internal/server"
 )
 
 func main() {
@@ -106,17 +107,18 @@ func main() {
 		// the run and cause (see experiments.RunError).
 		fmt.Fprintf(os.Stderr, "fsbench: %d of %d experiments failed:\n%v\n", len(results)-ok, len(results), err)
 	}
-	if *traceOut != "" {
-		if werr := writeTrace(sched, *traceOut); werr != nil {
-			fmt.Fprintf(os.Stderr, "fsbench: trace export: %v\n", werr)
+	// Artifact export goes through the same drain path the serving front-end
+	// uses on SIGTERM: it runs even when the suite was interrupted (Ctrl-C)
+	// or partially failed, and canceled runs' partial traces are flushed too
+	// (labeled "!aborted"), so an interrupted invocation still leaves usable
+	// traces and metrics. One artifact failing does not skip the other.
+	if *traceOut != "" || *metricsOut != "" {
+		if werr := server.WriteArtifacts(sched, *traceOut, *metricsOut); werr != nil {
+			fmt.Fprintf(os.Stderr, "fsbench: %v\n", werr)
 			os.Exit(1)
 		}
-		fmt.Printf("trace: wrote %s\n", *traceOut)
-	}
-	if *metricsOut != "" {
-		if werr := writeMetrics(sched, *metricsOut); werr != nil {
-			fmt.Fprintf(os.Stderr, "fsbench: metrics export: %v\n", werr)
-			os.Exit(1)
+		if *traceOut != "" {
+			fmt.Printf("trace: wrote %s\n", *traceOut)
 		}
 	}
 	st := sched.Stats()
@@ -128,38 +130,3 @@ func main() {
 	}
 }
 
-// writeTrace exports the scheduler's recorded runs: .jsonl gets compact JSON
-// lines, everything else the Chrome trace-event document Perfetto loads.
-func writeTrace(sched *experiments.Scheduler, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if strings.HasSuffix(path, ".jsonl") {
-		err = sched.WriteJSONLTrace(f)
-	} else {
-		err = sched.WriteChromeTrace(f)
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
-// writeMetrics dumps the per-run metrics registries (deterministic) followed
-// by the harness's own host-dependent counters. "-" writes to stdout.
-func writeMetrics(sched *experiments.Scheduler, path string) error {
-	w := os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := sched.WriteRunMetrics(w); err != nil {
-		return err
-	}
-	return sched.WriteHarnessMetrics(w)
-}

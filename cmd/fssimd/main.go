@@ -1,0 +1,90 @@
+// Command fssimd is the long-lived serving front-end over the experiment
+// scheduler: an HTTP/JSON server that lets many concurrent clients submit
+// (benchmark, mode, L2, scale, seed, faults) simulation requests and share
+// the deterministic, RunKey-memoized results.
+//
+// Usage:
+//
+//	fssimd                         # serve on :8080
+//	fssimd -addr :9090             # another port
+//	fssimd -queue 128 -workers 8   # admission bound and worker-pool width
+//	fssimd -deadline 30s           # per-request result deadline (and cap)
+//	fssimd -timeout 2m             # per-simulation wall-clock limit
+//	fssimd -drain-timeout 15s      # graceful-drain budget on SIGTERM/SIGINT
+//	fssimd -trace trace.json -metrics metrics.txt  # artifacts flushed on drain
+//
+// Endpoints:
+//
+//	POST /v1/runs            submit a run; body {"benchmark": "ab-rand", ...}
+//	GET  /v1/runs/{id}       a completed run's (byte-identical) result
+//	GET  /v1/runs/{id}/trace the run's Chrome trace-event JSON (with -trace)
+//	GET  /healthz            liveness
+//	GET  /readyz             readiness (503 while draining)
+//	GET  /metrics            serving-path and scheduler counters
+//
+// Robustness contract: requests beyond the admission queue get 429 +
+// Retry-After; per-(benchmark, mode) circuit breakers fast-fail 503 under
+// failure storms and recover via half-open probes; SIGTERM/SIGINT stops
+// admission, finishes or cancels in-flight runs within the drain budget,
+// flushes artifacts, and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fssim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", 64, "admission bound: max requests waiting or running; beyond it, 429")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	deadline := flag.Duration("deadline", 2*time.Minute, "default and maximum per-request result deadline")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget before in-flight runs are canceled")
+	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = the request deadline)")
+	retries := flag.Int("retries", 0, "extra attempts for a failed simulation")
+	scale := flag.Float64("scale", 1.0, "default workload size multiplier for requests that leave scale unset")
+	seed := flag.Int64("seed", 1, "default simulation seed for requests that leave seed unset")
+	traceOut := flag.String("trace", "", "record every simulation; flush a trace file on drain (.jsonl = JSON lines, else Chrome trace-event JSON)")
+	metricsOut := flag.String("metrics", "", "flush per-run metrics registries plus harness counters to this file on drain (- = stdout)")
+	doTrace := flag.Bool("record", false, "record simulations (enables GET /v1/runs/{id}/trace) even without -trace/-metrics")
+	flag.Parse()
+
+	cfg := server.Config{
+		Addr:         *addr,
+		Queue:        *queue,
+		Workers:      *workers,
+		Deadline:     *deadline,
+		DrainTimeout: *drain,
+		RunTimeout:   *timeout,
+		Retries:      *retries,
+		Scale:        *scale,
+		Seed:         *seed,
+		Trace:        *doTrace,
+		TracePath:    *traceOut,
+		MetricsPath:  *metricsOut,
+	}
+
+	// SIGTERM (orchestrators) and SIGINT (terminals) both start the drain:
+	// stop admitting, resolve in-flight runs against the drain budget, flush
+	// artifacts, exit 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := server.New(cfg)
+	go func() {
+		fmt.Fprintf(os.Stderr, "fssimd: serving on %s (queue %d, deadline %v, drain %v)\n",
+			s.Addr(), *queue, *deadline, *drain)
+	}()
+	if err := s.Serve(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "fssimd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "fssimd: drained cleanly")
+}

@@ -53,6 +53,7 @@ import (
 	"fssim/internal/isa"
 	"fssim/internal/kernel"
 	"fssim/internal/machine"
+	"fssim/internal/server"
 	"fssim/internal/trace"
 	"fssim/internal/workload"
 )
@@ -305,6 +306,32 @@ func NewTracer() *Tracer { return trace.NewRecorder(trace.DefaultConfig()) }
 func WriteChromeTrace(w io.Writer, label string, t *Tracer) error {
 	return trace.WriteChrome(w, label, t)
 }
+
+// Serving front-end types (see cmd/fssimd and internal/server).
+type (
+	// ServerConfig configures the resilient HTTP serving front-end: listen
+	// address, admission-queue bound, worker-pool width, request deadline,
+	// drain budget, circuit-breaker tuning, and drain-time artifacts.
+	ServerConfig = server.Config
+	// ServerClient talks to a running fssimd.
+	ServerClient = server.Client
+	// RunRequest is the JSON body of POST /v1/runs.
+	RunRequest = server.RunRequest
+	// RunResponse is the deterministic JSON body of a completed run.
+	RunResponse = server.RunResponse
+)
+
+// Serve runs the serving front-end until ctx is canceled, then drains
+// gracefully: admission stops, in-flight runs finish or are canceled within
+// the drain budget, and trace/metrics artifacts are flushed. A nil error
+// means a clean drain. See cmd/fssimd for the flag-driven daemon.
+func Serve(ctx context.Context, cfg ServerConfig) error {
+	return server.New(cfg).Serve(ctx)
+}
+
+// NewServerClient returns a client for the fssimd at base, e.g.
+// "http://localhost:8080".
+func NewServerClient(base string) *ServerClient { return server.NewClient(base) }
 
 // Experiments lists the regenerable paper artifacts (fig1..fig12, tab1, tab2).
 func Experiments() []string { return experiments.IDs() }

@@ -106,6 +106,12 @@ func (c Config) validate() error {
 	if c.Retries < 0 {
 		return fmt.Errorf("experiments: retries must be non-negative, got %d", c.Retries)
 	}
+	// Zero means "no per-run deadline"; a negative duration is always a
+	// configuration mistake and is rejected up front rather than silently
+	// behaving like either extreme.
+	if c.Timeout < 0 {
+		return fmt.Errorf("experiments: timeout must be non-negative (0 = no deadline), got %v", c.Timeout)
+	}
 	if c.FaultPlan != "" {
 		if _, err := faults.Named(c.FaultPlan); err != nil {
 			return fmt.Errorf("experiments: %w", err)

@@ -203,6 +203,172 @@ func TestContextCancellation(t *testing.T) {
 	}
 }
 
+// TestZeroTimeoutMeansNoDeadline pins the timeout semantics: zero is "no
+// per-run deadline" — a run under Timeout 0 completes normally rather than
+// being canceled immediately.
+func TestZeroTimeoutMeansNoDeadline(t *testing.T) {
+	s := NewScheduler(Config{Scale: 1, Seed: 1, Parallelism: 1, Timeout: 0})
+	res, err := s.Get(s.cfg.benchKey("ok-test", machine.FullSystem, 0))
+	if err != nil {
+		t.Fatalf("zero timeout canceled a healthy run: %v", err)
+	}
+	if res.Stats.Cycles == 0 {
+		t.Error("zero-timeout run produced no cycles")
+	}
+}
+
+// TestNegativeTimeoutIsConfigError pins the other half: a negative timeout is
+// a configuration mistake surfaced at Run/RunMany time, never a silent
+// immediate cancel.
+func TestNegativeTimeoutIsConfigError(t *testing.T) {
+	cfg := Config{Scale: 1, Seed: 1, Timeout: -time.Second}
+	if _, err := Run("fig7", cfg); err == nil || !strings.Contains(err.Error(), "timeout must be non-negative") {
+		t.Errorf("Run did not reject negative timeout: %v", err)
+	}
+	if _, err := NewScheduler(cfg).RunMany([]string{"fig7"}); err == nil || !strings.Contains(err.Error(), "timeout must be non-negative") {
+		t.Errorf("RunMany did not reject negative timeout: %v", err)
+	}
+	if _, err := RunAll([]string{"fig7"}, cfg); err == nil || !strings.Contains(err.Error(), "timeout must be non-negative") {
+		t.Errorf("RunAll did not reject negative timeout: %v", err)
+	}
+}
+
+// TestQueuedCancellation covers the cancellation edge the serving front-end
+// leans on: a run whose context is canceled while it is still queued (waiting
+// for a worker slot, not yet running) must resolve promptly with a *RunError
+// wrapping context.Canceled and Attempts == 0, and the cancellation must not
+// evict unrelated completed entries from the memo cache.
+func TestQueuedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{Scale: 1, Seed: 1, Parallelism: 1}.WithContext(ctx)
+	s := NewScheduler(cfg)
+
+	// A completed, memoized run that must survive the cancellation.
+	okKey := s.cfg.benchKey("ok-test", machine.FullSystem, 0)
+	if _, err := s.Get(okKey); err != nil {
+		t.Fatalf("setup run failed: %v", err)
+	}
+
+	// Occupy the single worker slot with a run that only ends on cancel.
+	hangDone := make(chan struct{})
+	go func() {
+		defer close(hangDone)
+		_, _ = s.Get(s.cfg.benchKey("hang-test", machine.FullSystem, 0))
+	}()
+
+	// Wait until the hanging run actually holds the worker slot, so the next
+	// request is genuinely queued rather than racing it for the slot.
+	for i := 0; len(s.slots) == 0; i++ {
+		if i > 1000 {
+			t.Fatal("hanging run never acquired the worker slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue a run behind it (distinct L2 so it cannot hit the memo cache).
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := s.Get(s.cfg.benchKey("ok-test", machine.FullSystem, 2<<20))
+		queuedErr <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the request reach the queue
+	cancel()
+
+	select {
+	case err := <-queuedErr:
+		var re *RunError
+		if !errors.As(err, &re) {
+			t.Fatalf("queued cancellation returned %T, want *RunError: %v", err, err)
+		}
+		if re.Attempts != 0 {
+			t.Errorf("queued run reports %d attempts, want 0 (it never started)", re.Attempts)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("queued RunError does not wrap context.Canceled: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued run did not resolve promptly on cancellation")
+	}
+	<-hangDone
+
+	// Only the completed entry remains memoized: the queued and the hanging
+	// runs were evicted, the unrelated completed one was not.
+	if st := s.Stats(); st.Distinct != 1 {
+		t.Errorf("Distinct = %d after cancellation, want 1 (completed entry retained)", st.Distinct)
+	}
+	s.mu.Lock()
+	_, kept := s.runs[okKey]
+	s.mu.Unlock()
+	if !kept {
+		t.Error("cancellation evicted the unrelated completed memo-cache entry")
+	}
+}
+
+// TestLookupDetachedExecution: a Lookup whose waiter context expires leaves
+// the underlying simulation running for later callers — the serving
+// front-end's "abandoned request does not kill the shared run" contract.
+func TestLookupDetachedExecution(t *testing.T) {
+	s := NewScheduler(Config{Scale: 1, Seed: 1, Parallelism: 2})
+	key := s.cfg.benchKey("ok-test", machine.FullSystem, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // waiter gives up immediately
+	_, status, err := s.Lookup(ctx, key)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned waiter error = %v, want context.Canceled", err)
+	}
+	if status != LookupMiss {
+		t.Errorf("first Lookup status = %v, want miss", status)
+	}
+
+	// The detached run completes; a fresh waiter collects it.
+	out, status, err := s.Lookup(context.Background(), key)
+	if err != nil {
+		t.Fatalf("second Lookup failed: %v", err)
+	}
+	if status == LookupMiss {
+		t.Error("second Lookup re-executed instead of joining/hitting the first run")
+	}
+	if out.Result.Stats.Cycles == 0 {
+		t.Error("detached run produced no cycles")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Errorf("Misses = %d, want 1 (single detached execution)", st.Misses)
+	}
+}
+
+// TestAbortedTraceFlush: a traced run that dies (here: per-run timeout) still
+// leaves its partial recorder, and the exports label it "!aborted" — the
+// drain-path guarantee that interrupted invocations produce usable traces.
+func TestAbortedTraceFlush(t *testing.T) {
+	s := NewScheduler(Config{Scale: 1, Seed: 1, Parallelism: 1,
+		Timeout: 50 * time.Millisecond, Trace: true})
+	if _, err := s.Get(s.cfg.benchKey("hang-test", machine.FullSystem, 0)); err == nil {
+		t.Fatal("hanging run succeeded")
+	}
+	aborted := s.AbortedTracedRuns()
+	if len(aborted) != 1 {
+		t.Fatalf("AbortedTracedRuns = %d entries, want 1", len(aborted))
+	}
+	if aborted[0].Rec == nil || aborted[0].Err == nil {
+		t.Fatalf("aborted run lost its recorder or error: %+v", aborted[0])
+	}
+	var chrome, metrics strings.Builder
+	if err := s.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteRunMetrics(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), "!aborted") {
+		t.Error("Chrome export does not label the aborted run")
+	}
+	if !strings.Contains(metrics.String(), "(aborted") {
+		t.Error("metrics export does not label the aborted run")
+	}
+}
+
 // TestRunManyPartialResults: one failing experiment yields a nil slot and a
 // joined error while the other experiments' results come back intact.
 func TestRunManyPartialResults(t *testing.T) {

@@ -151,6 +151,11 @@ type RunError struct {
 }
 
 func (e *RunError) Error() string {
+	if e.Attempts == 0 {
+		// The run never started: its suite (or serving) context was canceled
+		// while it waited for a worker slot.
+		return fmt.Sprintf("run %s canceled while queued: %v", e.Key, e.Cause)
+	}
 	what := "failed"
 	if e.Timeout {
 		what = "timed out"
@@ -168,8 +173,9 @@ type Scheduler struct {
 	cfg   Config
 	slots chan struct{} // worker-pool semaphore; cap = parallelism
 
-	mu   sync.Mutex
-	runs map[RunKey]*runEntry
+	mu      sync.Mutex
+	runs    map[RunKey]*runEntry
+	aborted []TracedRun // recorders salvaged from failed/canceled traced runs
 
 	costsOnce sync.Once
 	costs     ModeCosts
@@ -260,13 +266,21 @@ func (s *Scheduler) get(ctx context.Context, key RunKey, st *expStats) (runOutpu
 	if st != nil {
 		st.misses.Add(1)
 	}
+	s.run(ctx, key, e, st)
+	return e.out, e.err
+}
 
+// run executes the simulation behind a freshly created entry: it waits for a
+// worker slot (a cancellation while queued resolves the entry with a
+// *RunError wrapping the context error, without ever starting the run),
+// executes, and publishes the result via finish.
+func (s *Scheduler) run(ctx context.Context, key RunKey, e *runEntry, st *expStats) {
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
-		e.err = ctx.Err()
+		e.err = &RunError{Key: key, Attempts: 0, Cause: ctx.Err()}
 		s.finish(key, e, st)
-		return e.out, e.err
+		return
 	}
 	start := time.Now()
 	e.out, e.err = s.execute(ctx, key)
@@ -278,10 +292,107 @@ func (s *Scheduler) get(ctx context.Context, key RunKey, st *expStats) (runOutpu
 		st.simWall.Add(int64(e.wall))
 	}
 	s.finish(key, e, st)
-	return e.out, e.err
 }
 
-// finish publishes an entry's result and evicts it on failure.
+// LookupStatus classifies how a Lookup request was satisfied — the value a
+// serving front-end reports in its cache-status response header.
+type LookupStatus int
+
+const (
+	// LookupMiss: this request started a fresh simulation.
+	LookupMiss LookupStatus = iota
+	// LookupCoalesced: the request joined an in-flight simulation for the
+	// same key (singleflight dedup).
+	LookupCoalesced
+	// LookupHit: the result was already memoized.
+	LookupHit
+)
+
+func (st LookupStatus) String() string {
+	switch st {
+	case LookupHit:
+		return "hit"
+	case LookupCoalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// Outcome is the exported view of one memoized run, for serving front-ends.
+type Outcome struct {
+	Result workload.Result
+	// Accel is the run's acceleration engine (nil unless Accelerated); its
+	// Health feeds circuit-breaking degradation decisions.
+	Accel *core.Accelerator
+	// Trace is the run's recorder (nil unless Config.Trace).
+	Trace *trace.Recorder
+}
+
+// Lookup resolves key through the memo cache on behalf of a long-lived
+// serving front-end. Unlike Get, execution is detached from the caller: a
+// fresh simulation runs under the scheduler's own lifetime context (bounded
+// by the per-run Timeout), while ctx bounds only this caller's wait — a
+// waiter that gives up (request deadline, client disconnect) leaves the
+// shared simulation running for other coalesced clients to collect. The
+// reported status tells the caller whether it started the run, joined an
+// in-flight one, or was served from the cache.
+func (s *Scheduler) Lookup(ctx context.Context, key RunKey) (Outcome, LookupStatus, error) {
+	s.mu.Lock()
+	e, ok := s.runs[key]
+	if ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		status := LookupCoalesced
+		select {
+		case <-e.done:
+			status = LookupHit
+		default:
+		}
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return Outcome{}, status, ctx.Err()
+		}
+		return Outcome{Result: e.out.res, Accel: e.out.acc, Trace: e.out.rec}, status, e.err
+	}
+	e = &runEntry{done: make(chan struct{})}
+	s.runs[key] = e
+	s.mu.Unlock()
+	s.misses.Add(1)
+	go s.run(s.cfg.context(), key, e, nil)
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		return Outcome{}, LookupMiss, ctx.Err()
+	}
+	return Outcome{Result: e.out.res, Accel: e.out.acc, Trace: e.out.rec}, LookupMiss, e.err
+}
+
+// TraceOf returns the recorder of the completed memoized run for key, if the
+// run was traced and succeeded.
+func (s *Scheduler) TraceOf(key RunKey) (*trace.Recorder, bool) {
+	s.mu.Lock()
+	e, ok := s.runs[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return nil, false
+	}
+	if e.err != nil || e.out.rec == nil {
+		return nil, false
+	}
+	return e.out.rec, true
+}
+
+// finish publishes an entry's result and evicts it on failure. A failed (or
+// canceled) traced run's recorder is salvaged into the aborted list before
+// the entry is dropped, so an interrupted suite still flushes usable partial
+// traces on drain (see AbortedTracedRuns).
 func (s *Scheduler) finish(key RunKey, e *runEntry, st *expStats) {
 	close(e.done)
 	if e.err == nil {
@@ -295,6 +406,9 @@ func (s *Scheduler) finish(key RunKey, e *runEntry, st *expStats) {
 	if s.runs[key] == e {
 		delete(s.runs, key)
 	}
+	if e.out.rec != nil {
+		s.aborted = append(s.aborted, TracedRun{Key: key, Rec: e.out.rec, Err: e.err})
+	}
 	s.mu.Unlock()
 }
 
@@ -303,6 +417,7 @@ func (s *Scheduler) finish(key RunKey, e *runEntry, st *expStats) {
 // is terminal: a canceled suite does not burn retries.
 func (s *Scheduler) execute(ctx context.Context, key RunKey) (runOutput, error) {
 	var lastErr error
+	var lastOut runOutput
 	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			s.retries.Add(1)
@@ -311,6 +426,9 @@ func (s *Scheduler) execute(ctx context.Context, key RunKey) (runOutput, error) 
 		if err == nil {
 			return out, nil
 		}
+		// Keep the failed attempt's partial output: its recorder holds the
+		// trace up to the abort point, which the drain path salvages.
+		lastOut = out
 		lastErr = &RunError{
 			Key:      key,
 			Attempts: attempt + 1,
@@ -321,7 +439,7 @@ func (s *Scheduler) execute(ctx context.Context, key RunKey) (runOutput, error) 
 			break
 		}
 	}
-	return runOutput{}, lastErr
+	return lastOut, lastErr
 }
 
 // isTimeout reports whether err is a per-run deadline rather than a suite
@@ -411,6 +529,46 @@ func (s *Scheduler) modeCosts() ModeCosts {
 }
 
 // --- key constructors -------------------------------------------------------
+
+// RunSpec is the exported description of one simulation request, as a serving
+// front-end receives it. Key normalizes it into the scheduler's cache key
+// using the same rules the experiment runners use, so server requests and
+// suite runs share memo-cache entries when they coincide.
+type RunSpec struct {
+	Bench  string
+	Mode   machine.SimMode
+	L2     int     // bytes; 0 or the platform default normalize to 0
+	Scale  float64 // 0 normalizes to 1.0
+	Seed   int64   // 0 normalizes to 1
+	Faults string  // faults.Named plan ("" = none)
+	// Strategy selects the re-learning policy for Accelerated runs.
+	Strategy core.Strategy
+	// Watchdog arms the divergence watchdog on Accelerated runs, so the
+	// Outcome's Accel.Health() carries degradation signals.
+	Watchdog bool
+}
+
+// Key returns the spec's normalized memo-cache key.
+func (sp RunSpec) Key() RunKey {
+	if sp.L2 == defaultL2() {
+		sp.L2 = 0
+	}
+	if sp.Scale <= 0 {
+		sp.Scale = 1.0
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	k := RunKey{Bench: sp.Bench, Mode: sp.Mode, L2: sp.L2,
+		Scale: sp.Scale, Seed: sp.Seed, Faults: sp.Faults}
+	if sp.Mode == machine.Accelerated {
+		k.OptsHash = uint64(sp.Strategy) + 1
+		if sp.Watchdog {
+			k.OptsHash |= watchdogOpt
+		}
+	}
+	return k
+}
 
 // benchKey is the cache key for a plain run of name under mode with the
 // given L2 size (0 or the platform default both normalize to 0).

@@ -8,10 +8,13 @@ import (
 	"fssim/internal/trace"
 )
 
-// TracedRun pairs a completed simulation's cache key with its recorder.
+// TracedRun pairs a simulation's cache key with its recorder. Err is nil for
+// completed runs; for aborted runs (AbortedTracedRuns) it is the failure that
+// ended the run, and Rec holds the partial trace up to the abort point.
 type TracedRun struct {
 	Key RunKey
 	Rec *trace.Recorder
+	Err error
 }
 
 // TracedRuns returns every traced simulation the scheduler has executed,
@@ -38,9 +41,28 @@ func (s *Scheduler) TracedRuns() []TracedRun {
 	return out
 }
 
+// AbortedTracedRuns returns the recorders salvaged from failed or canceled
+// traced runs, sorted by key string. These partial traces are what an
+// interrupted suite (SIGINT) or a draining server still flushes: the spans
+// recorded up to the abort point remain loadable and diagnosable even though
+// the run produced no result.
+func (s *Scheduler) AbortedTracedRuns() []TracedRun {
+	s.mu.Lock()
+	out := make([]TracedRun, len(s.aborted))
+	copy(out, s.aborted)
+	s.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// abortedLabel marks aborted runs' sections in the exports so partial traces
+// are never mistaken for completed ones.
+func abortedLabel(tr TracedRun) string { return tr.Key.String() + " !aborted" }
+
 // WriteChromeTrace exports every traced run as one Chrome trace-event JSON
 // document: one process (pid) per simulation, one thread (tid) per OS
-// service. The file loads directly in Perfetto or chrome://tracing.
+// service. Aborted runs' partial traces follow the completed ones, labeled
+// "!aborted". The file loads directly in Perfetto or chrome://tracing.
 func (s *Scheduler) WriteChromeTrace(w io.Writer) error {
 	x := trace.NewChromeExporter(w)
 	for _, tr := range s.TracedRuns() {
@@ -48,14 +70,24 @@ func (s *Scheduler) WriteChromeTrace(w io.Writer) error {
 			return err
 		}
 	}
+	for _, tr := range s.AbortedTracedRuns() {
+		if err := x.AddProcess(abortedLabel(tr), tr.Rec); err != nil {
+			return err
+		}
+	}
 	return x.Close()
 }
 
 // WriteJSONLTrace exports every traced run's spans and instants as compact
-// JSON lines tagged with the run key.
+// JSON lines tagged with the run key (aborted runs tagged "!aborted").
 func (s *Scheduler) WriteJSONLTrace(w io.Writer) error {
 	for _, tr := range s.TracedRuns() {
 		if err := trace.WriteJSONL(w, tr.Key.String(), tr.Rec); err != nil {
+			return err
+		}
+	}
+	for _, tr := range s.AbortedTracedRuns() {
+		if err := trace.WriteJSONL(w, abortedLabel(tr), tr.Rec); err != nil {
 			return err
 		}
 	}
@@ -70,6 +102,14 @@ func (s *Scheduler) WriteJSONLTrace(w io.Writer) error {
 func (s *Scheduler) WriteRunMetrics(w io.Writer) error {
 	for _, tr := range s.TracedRuns() {
 		if _, err := fmt.Fprintf(w, "# run %s\n", tr.Key); err != nil {
+			return err
+		}
+		if err := tr.Rec.Metrics().WriteText(w); err != nil {
+			return err
+		}
+	}
+	for _, tr := range s.AbortedTracedRuns() {
+		if _, err := fmt.Fprintf(w, "# run %s (aborted: %v)\n", tr.Key, tr.Err); err != nil {
 			return err
 		}
 		if err := tr.Rec.Metrics().WriteText(w); err != nil {

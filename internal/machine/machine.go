@@ -68,7 +68,7 @@ type Config struct {
 	Seed       int64
 
 	// Ablation switches for the acceleration scheme's side-effect models
-	// (both default to enabled; see DESIGN.md §6).
+	// (both default to enabled; see DESIGN.md §7).
 	NoPollution    bool // disable cache pollution injection (paper §4.5)
 	NoBusInjection bool // disable predicted bus-occupancy injection
 }

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"fssim/internal/machine"
+)
+
+// BreakerConfig tunes the per-(benchmark, mode) circuit breakers.
+type BreakerConfig struct {
+	// Window is how many recent run outcomes each breaker remembers.
+	Window int
+	// FailureThreshold is the failure fraction over the window that opens
+	// the breaker (given at least MinSamples outcomes).
+	FailureThreshold float64
+	// MinSamples is the minimum outcomes before the threshold applies, so a
+	// single early failure cannot open a cold breaker.
+	MinSamples int
+	// Cooldown is how long an open breaker fast-fails before letting one
+	// half-open probe through.
+	Cooldown time.Duration
+	// DegradeAsFailure counts a run whose divergence watchdog demoted
+	// services (accelerator unhealthy) as a failure: predictions from that
+	// (benchmark, mode) are currently untrustworthy even though the run
+	// completed.
+	DegradeAsFailure bool
+}
+
+// DefaultBreakerConfig is tuned for interactive serving: open after half of
+// the last 8 runs failed (at least 3 observed), probe every 5 seconds.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:           8,
+		FailureThreshold: 0.5,
+		MinSamples:       3,
+		Cooldown:         5 * time.Second,
+		DegradeAsFailure: true,
+	}
+}
+
+func (c BreakerConfig) normalized() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.FailureThreshold <= 0 || c.FailureThreshold > 1 {
+		c.FailureThreshold = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one (benchmark, mode)'s circuit: closed (normal), open
+// (fast-fail 503s), half-open (one probe in flight deciding recovery).
+type breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	now      func() time.Time // test seam
+	state    breakerState
+	ring     []bool // recent outcomes, true = failure
+	n, idx   int    // outcomes recorded, next slot
+	fails    int    // failures currently in the ring
+	openedAt time.Time
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg, now: now, ring: make([]bool, cfg.Window)}
+}
+
+// allow reports whether a request may proceed. For a denied request it also
+// returns how long the client should wait before retrying. An open breaker
+// whose cooldown has elapsed transitions to half-open and admits exactly one
+// probe; further requests keep fast-failing until the probe resolves.
+func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerHalfOpen:
+		// A probe is already in flight; shed until it resolves.
+		return false, b.cfg.Cooldown
+	default: // open
+		if wait := b.cfg.Cooldown - b.now().Sub(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		b.state = breakerHalfOpen
+		return true, 0
+	}
+}
+
+// record feeds one run outcome into the breaker.
+func (b *breaker) record(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		// The probe decides: success closes the circuit with a clean slate,
+		// failure re-opens it for another cooldown.
+		if failed {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		} else {
+			b.state = breakerClosed
+			b.n, b.idx, b.fails = 0, 0, 0
+		}
+		return
+	}
+	if b.n == len(b.ring) {
+		if b.ring[b.idx] {
+			b.fails--
+		}
+	} else {
+		b.n++
+	}
+	b.ring[b.idx] = failed
+	if failed {
+		b.fails++
+	}
+	b.idx = (b.idx + 1) % len(b.ring)
+	if b.state == breakerClosed && b.n >= b.cfg.MinSamples &&
+		float64(b.fails)/float64(b.n) >= b.cfg.FailureThreshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// snapshot returns the breaker's current state for /readyz and metrics.
+func (b *breaker) snapshot() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// breakerKey scopes one circuit: failures in one (benchmark, mode) must not
+// shed load for healthy ones.
+type breakerKey struct {
+	bench string
+	mode  machine.SimMode
+}
+
+// breakerSet lazily builds one breaker per (benchmark, mode).
+type breakerSet struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	now func() time.Time
+	m   map[breakerKey]*breaker
+}
+
+func newBreakerSet(cfg BreakerConfig, now func() time.Time) *breakerSet {
+	return &breakerSet{cfg: cfg.normalized(), now: now, m: make(map[breakerKey]*breaker)}
+}
+
+func (s *breakerSet) get(key breakerKey) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[key]
+	if !ok {
+		b = newBreaker(s.cfg, s.now)
+		s.m[key] = b
+	}
+	return b
+}
+
+// openCount reports how many circuits are currently not closed.
+func (s *breakerSet) openCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, b := range s.m {
+		if b.snapshot() != breakerClosed {
+			n++
+		}
+	}
+	return n
+}

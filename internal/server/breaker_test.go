@@ -1,0 +1,175 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"fssim/internal/machine"
+)
+
+// fakeClock drives the breaker's now() seam so cooldown transitions are
+// deterministic and instant.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time        { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(cfg BreakerConfig) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	return newBreaker(cfg.normalized(), clk.now), clk
+}
+
+func cfg4() BreakerConfig {
+	return BreakerConfig{Window: 4, FailureThreshold: 0.5, MinSamples: 2, Cooldown: time.Second}
+}
+
+func TestBreakerStaysClosedBelowThreshold(t *testing.T) {
+	b, _ := newTestBreaker(cfg4())
+	// 1 failure in 4: 25% < 50% threshold. The successes come first so no
+	// intermediate prefix crosses the threshold either.
+	for _, failed := range []bool{false, false, false, true} {
+		b.record(failed)
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("breaker opened below threshold after record(%v)", failed)
+		}
+	}
+}
+
+func TestBreakerMinSamplesGuard(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 8, FailureThreshold: 0.5, MinSamples: 3, Cooldown: time.Second})
+	// One failure is 100% failure rate, but below MinSamples: stay closed.
+	b.record(true)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker opened on a single sample with MinSamples=3")
+	}
+	b.record(true)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker opened at 2 samples with MinSamples=3")
+	}
+	b.record(true)
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker still closed at MinSamples with 100% failures")
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(cfg4())
+	b.record(true)
+	b.record(true)
+	ok, retry := b.allow()
+	if ok {
+		t.Fatal("breaker closed at 100% failure rate over MinSamples")
+	}
+	if retry <= 0 {
+		t.Errorf("open breaker suggested retry %v, want positive", retry)
+	}
+}
+
+func TestBreakerWindowRollsOff(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 4, FailureThreshold: 0.75, MinSamples: 4, Cooldown: time.Second})
+	// Fill the window with alternating outcomes: 2/4 failures < 75%.
+	for _, f := range []bool{true, true, false, false} {
+		b.record(f)
+	}
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker opened at 50% with 75% threshold")
+	}
+	// Two more successes evict the old failures: 0/4.
+	b.record(false)
+	b.record(false)
+	// Now three fresh failures: 3/4 = 75% >= threshold.
+	for i := 0; i < 3; i++ {
+		b.record(true)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("rolling window failed to open at 3/4 failures")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(cfg4())
+	b.record(true)
+	b.record(true)
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker not open")
+	}
+	// Before cooldown: still open.
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker admitted before cooldown elapsed")
+	}
+	// After cooldown: exactly one probe passes; the next caller waits.
+	clk.advance(600 * time.Millisecond)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if ok, retry := b.allow(); ok {
+		t.Fatal("breaker admitted a second concurrent probe")
+	} else if retry <= 0 {
+		t.Errorf("half-open rejection suggested retry %v, want positive", retry)
+	}
+}
+
+func TestBreakerProbeSuccessCloses(t *testing.T) {
+	b, clk := newTestBreaker(cfg4())
+	b.record(true)
+	b.record(true)
+	clk.advance(2 * time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("probe refused")
+	}
+	b.record(false) // probe succeeds
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker not closed after successful probe")
+	}
+	// The window was reset: one new failure is below MinSamples and the old
+	// pre-open failures must not count against it.
+	b.record(true)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker reopened on a single failure after reset (stale window)")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(cfg4())
+	b.record(true)
+	b.record(true)
+	clk.advance(2 * time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("probe refused")
+	}
+	b.record(true) // probe fails
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker closed after failed probe")
+	}
+	// A full new cooldown is required before the next probe.
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker probed again before the new cooldown elapsed")
+	}
+	clk.advance(600 * time.Millisecond)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker refused the second probe after its cooldown")
+	}
+}
+
+func TestBreakerSetIsolation(t *testing.T) {
+	set := newBreakerSet(cfg4(), nil)
+	a := set.get(breakerKey{bench: "x", mode: machine.FullSystem})
+	bKey := set.get(breakerKey{bench: "y", mode: machine.FullSystem})
+	a.record(true)
+	a.record(true)
+	if ok, _ := a.allow(); ok {
+		t.Fatal("breaker x not open")
+	}
+	if ok, _ := bKey.allow(); !ok {
+		t.Fatal("breaker y opened by x's failures")
+	}
+	if n := set.openCount(); n != 1 {
+		t.Errorf("openCount = %d, want 1", n)
+	}
+	// get() is stable: the same key returns the same breaker.
+	if set.get(breakerKey{bench: "x", mode: machine.FullSystem}) != a {
+		t.Error("breakerSet.get returned a new breaker for an existing key")
+	}
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sentinel errors a Client maps well-known server responses onto, so callers
+// can branch with errors.Is instead of parsing status codes.
+var (
+	// ErrOverloaded: the admission queue was full (HTTP 429). Retry after
+	// the duration carried by the *APIError.
+	ErrOverloaded = errors.New("server overloaded")
+	// ErrUnavailable: the server is draining or a circuit breaker is open
+	// for the requested (benchmark, mode) (HTTP 503).
+	ErrUnavailable = errors.New("server unavailable")
+	// ErrDeadline: the request's deadline expired before the run finished
+	// (HTTP 504); the result may become available later under the same id.
+	ErrDeadline = errors.New("run deadline exceeded")
+)
+
+// APIError is a non-200 server response.
+type APIError struct {
+	StatusCode int
+	Message    string
+	RetryAfter time.Duration // from the Retry-After header, when present
+	kind       error
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+func (e *APIError) Unwrap() error { return e.kind }
+
+// RunResult is a successful run submission: the decoded response plus the
+// exact bytes (byte-identical across identical requests) and cache status.
+type RunResult struct {
+	Response RunResponse
+	Body     []byte // raw response body, newline-terminated
+	Cache    string // X-Fssim-Cache: "miss", "coalesced" or "hit"
+}
+
+// Client talks to a running fssimd.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the server at base (e.g.
+// "http://localhost:8080"). The client applies no timeout of its own —
+// deadlines belong to the request context and the server's admission layer.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// Run submits one run request and waits for its result.
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/runs", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp, body)
+	}
+	out := &RunResult{Body: body, Cache: resp.Header.Get("X-Fssim-Cache")}
+	if err := json.Unmarshal(body, &out.Response); err != nil {
+		return nil, fmt.Errorf("server: undecodable response: %w", err)
+	}
+	return out, nil
+}
+
+// Get fetches a previously submitted run by id. A run still executing
+// returns (nil, nil): not failed, not finished.
+func (c *Client) Get(ctx context.Context, id string) (*RunResult, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/runs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		out := &RunResult{Body: body, Cache: resp.Header.Get("X-Fssim-Cache")}
+		if err := json.Unmarshal(body, &out.Response); err != nil {
+			return nil, fmt.Errorf("server: undecodable response: %w", err)
+		}
+		return out, nil
+	case http.StatusAccepted:
+		return nil, nil
+	default:
+		return nil, apiError(resp, body)
+	}
+}
+
+// Ready reports whether the server is accepting work (GET /readyz).
+func (c *Client) Ready(ctx context.Context) bool {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// apiError decodes an error response into an *APIError with the matching
+// sentinel kind.
+func apiError(resp *http.Response, body []byte) error {
+	var eb errBody
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	e := &APIError{StatusCode: resp.StatusCode, Message: msg}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if sec, err := strconv.Atoi(ra); err == nil {
+			e.RetryAfter = time.Duration(sec) * time.Second
+		}
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		e.kind = ErrOverloaded
+	case http.StatusServiceUnavailable:
+		e.kind = ErrUnavailable
+	case http.StatusGatewayTimeout:
+		e.kind = ErrDeadline
+	}
+	return e
+}

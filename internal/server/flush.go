@@ -1,0 +1,63 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fssim/internal/experiments"
+)
+
+// WriteArtifacts is the shared drain path for trace/metrics artifacts: it is
+// what the server flushes on graceful shutdown and what fsbench flushes after
+// a run — including an interrupted (SIGINT-canceled) one, whose aborted runs
+// still export their partial traces. Empty paths are skipped; a failure on
+// one artifact does not stop the other, and all failures are joined.
+//
+// tracePath ending in .jsonl gets compact JSON lines; any other trace path
+// gets the Chrome trace-event document Perfetto loads. metricsPath gets the
+// deterministic per-run metrics registries followed by the host-dependent
+// harness counters; "-" writes them to stdout.
+func WriteArtifacts(sched *experiments.Scheduler, tracePath, metricsPath string) error {
+	var errs []error
+	if tracePath != "" {
+		if err := writeFile(tracePath, func(w io.Writer) error {
+			if strings.HasSuffix(tracePath, ".jsonl") {
+				return sched.WriteJSONLTrace(w)
+			}
+			return sched.WriteChromeTrace(w)
+		}); err != nil {
+			errs = append(errs, fmt.Errorf("trace export: %w", err))
+		}
+	}
+	if metricsPath != "" {
+		if err := writeFile(metricsPath, func(w io.Writer) error {
+			if err := sched.WriteRunMetrics(w); err != nil {
+				return err
+			}
+			return sched.WriteHarnessMetrics(w)
+		}); err != nil {
+			errs = append(errs, fmt.Errorf("metrics export: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// writeFile writes one artifact to path ("-" = stdout), reporting close
+// failures too so a full disk is not silently ignored.
+func writeFile(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+	"time"
+
+	"fssim/internal/core"
+	"fssim/internal/experiments"
+	"fssim/internal/faults"
+	"fssim/internal/machine"
+	"fssim/internal/workload"
+)
+
+// maxRequestBody bounds POST /v1/runs bodies; a run request is a handful of
+// scalars, so anything larger is garbage (or abuse) and is rejected early.
+const maxRequestBody = 1 << 16
+
+// maxScale bounds request-supplied workload scaling so a single client
+// cannot ask the server for an arbitrarily large simulation.
+const maxScale = 4.0
+
+// RunRequest is the JSON body of POST /v1/runs. Zero-valued optional fields
+// take the server's defaults; the full request (after applying defaults)
+// determines the run's cache key, so identical requests share one simulation
+// and one byte-identical response body.
+type RunRequest struct {
+	Benchmark string `json:"benchmark"`
+	// Mode is "full" (App+OS, default), "app" (App Only) or "accel"
+	// (App+OS Pred).
+	Mode string `json:"mode,omitempty"`
+	// Strategy selects the re-learning policy for accel runs: "statistical"
+	// (default), "best-match", "eager" or "delayed".
+	Strategy string `json:"strategy,omitempty"`
+	// L2 overrides the L2 capacity in bytes (0 = platform default).
+	L2 int `json:"l2,omitempty"`
+	// Scale multiplies workload sizes (0 = server default; capped at 4).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed fixes the simulation's base seed (0 = server default).
+	Seed int64 `json:"seed,omitempty"`
+	// Faults names a fault plan injected into the run ("" = none).
+	Faults string `json:"faults,omitempty"`
+	// DeadlineMS caps how long this request waits for its result, in
+	// milliseconds (0 = server default; capped at the server default).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// DecodeRunRequest parses one JSON run request strictly: unknown fields and
+// trailing garbage are errors, so malformed clients fail loudly instead of
+// silently running a default simulation.
+func DecodeRunRequest(r io.Reader) (RunRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxRequestBody))
+	dec.DisallowUnknownFields()
+	var q RunRequest
+	if err := dec.Decode(&q); err != nil {
+		return RunRequest{}, fmt.Errorf("invalid run request: %w", err)
+	}
+	if dec.More() {
+		return RunRequest{}, fmt.Errorf("invalid run request: trailing data after JSON object")
+	}
+	return q, nil
+}
+
+// mode resolves the request's mode string.
+func (q RunRequest) mode() (machine.SimMode, error) {
+	switch strings.ToLower(strings.TrimSpace(q.Mode)) {
+	case "", "full", "fullsystem", "full-system", "app+os":
+		return machine.FullSystem, nil
+	case "app", "apponly", "app-only", "app only":
+		return machine.AppOnly, nil
+	case "accel", "accelerated", "pred", "app+os pred":
+		return machine.Accelerated, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want full, app or accel)", q.Mode)
+}
+
+// strategy resolves the request's re-learning strategy string.
+func (q RunRequest) strategy() (core.Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(q.Strategy)) {
+	case "", "statistical":
+		return core.Statistical, nil
+	case "best-match", "bestmatch":
+		return core.BestMatch, nil
+	case "eager":
+		return core.Eager, nil
+	case "delayed":
+		return core.Delayed, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want statistical, best-match, eager or delayed)", q.Strategy)
+}
+
+// Validate rejects requests no simulation can serve. The returned error is
+// client-facing (a 400 body), so it names the offending field.
+func (q RunRequest) Validate() error {
+	if strings.TrimSpace(q.Benchmark) == "" {
+		return fmt.Errorf("benchmark is required (have %s)", strings.Join(workload.Names(), ", "))
+	}
+	if _, err := workload.Lookup(q.Benchmark); err != nil {
+		return err
+	}
+	if _, err := q.mode(); err != nil {
+		return err
+	}
+	if _, err := q.strategy(); err != nil {
+		return err
+	}
+	if q.L2 < 0 {
+		return fmt.Errorf("l2 must be non-negative bytes, got %d", q.L2)
+	}
+	if q.Scale < 0 || q.Scale > maxScale {
+		return fmt.Errorf("scale must be in (0, %g] (0 = server default), got %g", maxScale, q.Scale)
+	}
+	if q.Seed < 0 {
+		return fmt.Errorf("seed must be non-negative, got %d", q.Seed)
+	}
+	if q.Faults != "" {
+		if _, err := faults.Named(q.Faults); err != nil {
+			return err
+		}
+	}
+	if q.DeadlineMS < 0 {
+		return fmt.Errorf("deadline_ms must be non-negative, got %d", q.DeadlineMS)
+	}
+	return nil
+}
+
+// spec maps the validated request onto a scheduler RunSpec, applying the
+// server's defaults for unset fields. Accelerated runs always arm the
+// divergence watchdog so the breaker sees degradation signals.
+func (q RunRequest) spec(defaultScale float64, defaultSeed int64) (experiments.RunSpec, error) {
+	mode, err := q.mode()
+	if err != nil {
+		return experiments.RunSpec{}, err
+	}
+	strat, err := q.strategy()
+	if err != nil {
+		return experiments.RunSpec{}, err
+	}
+	sp := experiments.RunSpec{
+		Bench:    q.Benchmark,
+		Mode:     mode,
+		L2:       q.L2,
+		Scale:    q.Scale,
+		Seed:     q.Seed,
+		Faults:   q.Faults,
+		Strategy: strat,
+		Watchdog: mode == machine.Accelerated,
+	}
+	if sp.Scale <= 0 {
+		sp.Scale = defaultScale
+	}
+	if sp.Seed == 0 {
+		sp.Seed = defaultSeed
+	}
+	return sp, nil
+}
+
+// deadline resolves the request's wait deadline against the server default,
+// which is also the cap: clients may ask for less time, never more.
+func (q RunRequest) deadline(def time.Duration) time.Duration {
+	if q.DeadlineMS <= 0 {
+		return def
+	}
+	d := time.Duration(q.DeadlineMS) * time.Millisecond
+	if d > def {
+		return def
+	}
+	return d
+}
+
+// RunResponse is the JSON body of a completed run. Every field is a pure
+// function of the run's cache key (host wall-clock never appears), so
+// identical requests produce byte-identical bodies — the property that makes
+// responses shareable and cacheable.
+type RunResponse struct {
+	ID        string  `json:"id"`
+	Key       string  `json:"key"`
+	Benchmark string  `json:"benchmark"`
+	Mode      string  `json:"mode"`
+	Cycles    uint64  `json:"cycles"`
+	Insts     uint64  `json:"instructions"`
+	IPC       float64 `json:"ipc"`
+	L2Misses  uint64  `json:"l2_misses"`
+	// Coverage is the fraction of OS service invocations fast-forwarded
+	// (accel runs only).
+	Coverage float64 `json:"coverage,omitempty"`
+	// Degraded reports that the divergence watchdog demoted at least one
+	// service to detailed simulation during the run (accel runs only).
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// runID derives the deterministic public id of a cache key: identical
+// requests — from any client, at any time — map to the same id.
+func runID(key experiments.RunKey) string {
+	h := fnv.New64a()
+	io.WriteString(h, key.String())
+	fmt.Fprintf(h, "|seed=%d", key.Seed)
+	return fmt.Sprintf("r%016x", h.Sum64())
+}

@@ -54,7 +54,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 // TestAblationInjection verifies both prediction side-effect models earn
-// their keep on a CPU-bound OS-intensive workload (DESIGN.md §6): disabling
+// their keep on a CPU-bound OS-intensive workload (DESIGN.md §7): disabling
 // either cache-pollution or bus-occupancy injection must not improve
 // accuracy over having both enabled.
 func TestAblationInjection(t *testing.T) {
