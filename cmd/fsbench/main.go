@@ -129,4 +129,3 @@ func main() {
 		os.Exit(1)
 	}
 }
-

@@ -369,6 +369,29 @@ func TestAbortedTraceFlush(t *testing.T) {
 	}
 }
 
+// TestAbortedTracesBounded: a long failure storm must not grow the salvaged
+// partial-trace list without bound — a long-lived traced server would
+// otherwise leak one recorder per failed run. Only the most recent
+// maxAbortedTraces survive.
+func TestAbortedTracesBounded(t *testing.T) {
+	s := NewScheduler(Config{Scale: 1, Seed: 1, Parallelism: 2, Trace: true})
+	for i := 0; i < maxAbortedTraces+8; i++ {
+		key := RunKey{Bench: "panic-test", Mode: machine.FullSystem, Scale: 1, Seed: int64(i + 1)}
+		if _, err := s.Get(key); err == nil {
+			t.Fatalf("panicking run %d succeeded", i)
+		}
+	}
+	aborted := s.AbortedTracedRuns()
+	if len(aborted) != maxAbortedTraces {
+		t.Fatalf("AbortedTracedRuns = %d entries, want capped at %d", len(aborted), maxAbortedTraces)
+	}
+	for _, tr := range aborted {
+		if tr.Rec == nil || tr.Err == nil {
+			t.Fatalf("salvaged trace lost its recorder or error: %+v", tr)
+		}
+	}
+}
+
 // TestRunManyPartialResults: one failing experiment yields a nil slot and a
 // joined error while the other experiments' results come back intact.
 func TestRunManyPartialResults(t *testing.T) {

@@ -338,6 +338,18 @@ type Outcome struct {
 // reported status tells the caller whether it started the run, joined an
 // in-flight one, or was served from the cache.
 func (s *Scheduler) Lookup(ctx context.Context, key RunKey) (Outcome, LookupStatus, error) {
+	return s.LookupNotify(ctx, key, nil)
+}
+
+// LookupNotify is Lookup with a completion hook for the detached execution:
+// when this call starts a fresh run (status LookupMiss), onDone is invoked
+// exactly once with the run's final outcome, after the entry resolves —
+// regardless of whether this caller's ctx expires first. Joined (coalesced or
+// hit) lookups never invoke onDone: each distinct execution notifies only its
+// creator, so a front-end feeding health signals (circuit breakers, run
+// records) from the hook counts every run exactly once, even when all of its
+// waiters abandoned it.
+func (s *Scheduler) LookupNotify(ctx context.Context, key RunKey, onDone func(Outcome, error)) (Outcome, LookupStatus, error) {
 	s.mu.Lock()
 	e, ok := s.runs[key]
 	if ok {
@@ -360,7 +372,12 @@ func (s *Scheduler) Lookup(ctx context.Context, key RunKey) (Outcome, LookupStat
 	s.runs[key] = e
 	s.mu.Unlock()
 	s.misses.Add(1)
-	go s.run(s.cfg.context(), key, e, nil)
+	go func() {
+		s.run(s.cfg.context(), key, e, nil)
+		if onDone != nil {
+			onDone(Outcome{Result: e.out.res, Accel: e.out.acc, Trace: e.out.rec}, e.err)
+		}
+	}()
 	select {
 	case <-e.done:
 	case <-ctx.Done():
@@ -389,10 +406,17 @@ func (s *Scheduler) TraceOf(key RunKey) (*trace.Recorder, bool) {
 	return e.out.rec, true
 }
 
+// maxAbortedTraces bounds the salvaged-recorder list: under a long failure
+// storm a long-lived server would otherwise accumulate one full trace
+// recorder per failed run without limit. The most recent failures are the
+// diagnostically useful ones, so older salvaged traces are dropped first.
+const maxAbortedTraces = 32
+
 // finish publishes an entry's result and evicts it on failure. A failed (or
-// canceled) traced run's recorder is salvaged into the aborted list before
-// the entry is dropped, so an interrupted suite still flushes usable partial
-// traces on drain (see AbortedTracedRuns).
+// canceled) traced run's recorder is salvaged into the aborted list (capped
+// at maxAbortedTraces, oldest dropped) before the entry is dropped, so an
+// interrupted suite still flushes usable partial traces on drain (see
+// AbortedTracedRuns).
 func (s *Scheduler) finish(key RunKey, e *runEntry, st *expStats) {
 	close(e.done)
 	if e.err == nil {
@@ -407,6 +431,10 @@ func (s *Scheduler) finish(key RunKey, e *runEntry, st *expStats) {
 		delete(s.runs, key)
 	}
 	if e.out.rec != nil {
+		if len(s.aborted) >= maxAbortedTraces {
+			n := copy(s.aborted, s.aborted[len(s.aborted)-maxAbortedTraces+1:])
+			s.aborted = s.aborted[:n]
+		}
 		s.aborted = append(s.aborted, TracedRun{Key: key, Rec: e.out.rec, Err: e.err})
 	}
 	s.mu.Unlock()

@@ -85,6 +85,7 @@ type breaker struct {
 	n, idx   int    // outcomes recorded, next slot
 	fails    int    // failures currently in the ring
 	openedAt time.Time
+	probeAt  time.Time // when the current half-open probe was admitted
 }
 
 func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
@@ -94,25 +95,35 @@ func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
 	return &breaker{cfg: cfg, now: now, ring: make([]bool, cfg.Window)}
 }
 
-// allow reports whether a request may proceed. For a denied request it also
-// returns how long the client should wait before retrying. An open breaker
-// whose cooldown has elapsed transitions to half-open and admits exactly one
-// probe; further requests keep fast-failing until the probe resolves.
-func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
+// allow reports whether a request may proceed, and whether the admitted
+// request is the half-open probe. For a denied request it also returns how
+// long the client should wait before retrying. An open breaker whose cooldown
+// has elapsed transitions to half-open and admits exactly one probe; further
+// requests keep fast-failing until the probe resolves. A probe that never
+// resolves (its run outcome lost for any reason) goes stale after another
+// Cooldown, and allow re-admits a fresh probe — a lost probe can delay
+// recovery by one cooldown, never wedge the circuit.
+func (b *breaker) allow() (ok, probe bool, retryAfter time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true, 0
+		return true, false, 0
 	case breakerHalfOpen:
-		// A probe is already in flight; shed until it resolves.
-		return false, b.cfg.Cooldown
+		if wait := b.cfg.Cooldown - b.now().Sub(b.probeAt); wait > 0 {
+			// A probe is already in flight; shed until it resolves.
+			return false, false, wait
+		}
+		// The probe went stale without recording an outcome: re-admit.
+		b.probeAt = b.now()
+		return true, true, 0
 	default: // open
 		if wait := b.cfg.Cooldown - b.now().Sub(b.openedAt); wait > 0 {
-			return false, wait
+			return false, false, wait
 		}
 		b.state = breakerHalfOpen
-		return true, 0
+		b.probeAt = b.now()
+		return true, true, 0
 	}
 }
 

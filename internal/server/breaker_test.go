@@ -11,7 +11,7 @@ import (
 // deterministic and instant.
 type fakeClock struct{ t time.Time }
 
-func (c *fakeClock) now() time.Time        { return c.t }
+func (c *fakeClock) now() time.Time          { return c.t }
 func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
 func newTestBreaker(cfg BreakerConfig) (*breaker, *fakeClock) {
@@ -29,7 +29,7 @@ func TestBreakerStaysClosedBelowThreshold(t *testing.T) {
 	// intermediate prefix crosses the threshold either.
 	for _, failed := range []bool{false, false, false, true} {
 		b.record(failed)
-		if ok, _ := b.allow(); !ok {
+		if ok, _, _ := b.allow(); !ok {
 			t.Fatalf("breaker opened below threshold after record(%v)", failed)
 		}
 	}
@@ -39,15 +39,15 @@ func TestBreakerMinSamplesGuard(t *testing.T) {
 	b, _ := newTestBreaker(BreakerConfig{Window: 8, FailureThreshold: 0.5, MinSamples: 3, Cooldown: time.Second})
 	// One failure is 100% failure rate, but below MinSamples: stay closed.
 	b.record(true)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("breaker opened on a single sample with MinSamples=3")
 	}
 	b.record(true)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("breaker opened at 2 samples with MinSamples=3")
 	}
 	b.record(true)
-	if ok, _ := b.allow(); ok {
+	if ok, _, _ := b.allow(); ok {
 		t.Fatal("breaker still closed at MinSamples with 100% failures")
 	}
 }
@@ -56,7 +56,7 @@ func TestBreakerOpensAtThreshold(t *testing.T) {
 	b, _ := newTestBreaker(cfg4())
 	b.record(true)
 	b.record(true)
-	ok, retry := b.allow()
+	ok, _, retry := b.allow()
 	if ok {
 		t.Fatal("breaker closed at 100% failure rate over MinSamples")
 	}
@@ -71,7 +71,7 @@ func TestBreakerWindowRollsOff(t *testing.T) {
 	for _, f := range []bool{true, true, false, false} {
 		b.record(f)
 	}
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("breaker opened at 50% with 75% threshold")
 	}
 	// Two more successes evict the old failures: 0/4.
@@ -81,7 +81,7 @@ func TestBreakerWindowRollsOff(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		b.record(true)
 	}
-	if ok, _ := b.allow(); ok {
+	if ok, _, _ := b.allow(); ok {
 		t.Fatal("rolling window failed to open at 3/4 failures")
 	}
 }
@@ -90,20 +90,20 @@ func TestBreakerHalfOpenSingleProbe(t *testing.T) {
 	b, clk := newTestBreaker(cfg4())
 	b.record(true)
 	b.record(true)
-	if ok, _ := b.allow(); ok {
+	if ok, _, _ := b.allow(); ok {
 		t.Fatal("breaker not open")
 	}
 	// Before cooldown: still open.
 	clk.advance(500 * time.Millisecond)
-	if ok, _ := b.allow(); ok {
+	if ok, _, _ := b.allow(); ok {
 		t.Fatal("breaker admitted before cooldown elapsed")
 	}
 	// After cooldown: exactly one probe passes; the next caller waits.
 	clk.advance(600 * time.Millisecond)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("breaker refused the half-open probe after cooldown")
 	}
-	if ok, retry := b.allow(); ok {
+	if ok, _, retry := b.allow(); ok {
 		t.Fatal("breaker admitted a second concurrent probe")
 	} else if retry <= 0 {
 		t.Errorf("half-open rejection suggested retry %v, want positive", retry)
@@ -115,17 +115,17 @@ func TestBreakerProbeSuccessCloses(t *testing.T) {
 	b.record(true)
 	b.record(true)
 	clk.advance(2 * time.Second)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("probe refused")
 	}
 	b.record(false) // probe succeeds
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("breaker not closed after successful probe")
 	}
 	// The window was reset: one new failure is below MinSamples and the old
 	// pre-open failures must not count against it.
 	b.record(true)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("breaker reopened on a single failure after reset (stale window)")
 	}
 }
@@ -135,21 +135,53 @@ func TestBreakerProbeFailureReopens(t *testing.T) {
 	b.record(true)
 	b.record(true)
 	clk.advance(2 * time.Second)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("probe refused")
 	}
 	b.record(true) // probe fails
-	if ok, _ := b.allow(); ok {
+	if ok, _, _ := b.allow(); ok {
 		t.Fatal("breaker closed after failed probe")
 	}
 	// A full new cooldown is required before the next probe.
 	clk.advance(500 * time.Millisecond)
-	if ok, _ := b.allow(); ok {
+	if ok, _, _ := b.allow(); ok {
 		t.Fatal("breaker probed again before the new cooldown elapsed")
 	}
 	clk.advance(600 * time.Millisecond)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("breaker refused the second probe after its cooldown")
+	}
+}
+
+// TestBreakerStaleProbeReadmitted: a half-open probe whose outcome is never
+// recorded (waiter abandoned, result lost) must not wedge the circuit — after
+// another cooldown the breaker re-admits a fresh probe, and a recorded
+// success still closes it.
+func TestBreakerStaleProbeReadmitted(t *testing.T) {
+	b, clk := newTestBreaker(cfg4())
+	b.record(true)
+	b.record(true)
+	clk.advance(2 * time.Second)
+	ok, probe, _ := b.allow()
+	if !ok || !probe {
+		t.Fatalf("allow() = (%v, %v), want admitted probe", ok, probe)
+	}
+	// The probe never records. Within the cooldown: everyone sheds.
+	clk.advance(500 * time.Millisecond)
+	if ok, _, retry := b.allow(); ok {
+		t.Fatal("second probe admitted while the first is still fresh")
+	} else if retry <= 0 {
+		t.Errorf("half-open rejection suggested retry %v, want positive", retry)
+	}
+	// After the cooldown the lost probe goes stale: a new probe is admitted.
+	clk.advance(600 * time.Millisecond)
+	ok, probe, _ = b.allow()
+	if !ok || !probe {
+		t.Fatalf("stale probe not re-admitted: allow() = (%v, %v)", ok, probe)
+	}
+	b.record(false)
+	if ok, _, _ := b.allow(); !ok {
+		t.Fatal("breaker not closed after the re-admitted probe succeeded")
 	}
 }
 
@@ -159,10 +191,10 @@ func TestBreakerSetIsolation(t *testing.T) {
 	bKey := set.get(breakerKey{bench: "y", mode: machine.FullSystem})
 	a.record(true)
 	a.record(true)
-	if ok, _ := a.allow(); ok {
+	if ok, _, _ := a.allow(); ok {
 		t.Fatal("breaker x not open")
 	}
-	if ok, _ := bKey.allow(); !ok {
+	if ok, _, _ := bKey.allow(); !ok {
 		t.Fatal("breaker y opened by x's failures")
 	}
 	if n := set.openCount(); n != 1 {

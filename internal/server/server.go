@@ -75,6 +75,11 @@ type Config struct {
 	// metrics dump, the PR 3 exporter formats).
 	TracePath   string
 	MetricsPath string
+	// MaxRecords bounds how many distinct run records GET /v1/runs/{id} can
+	// address: beyond it the oldest resolved records are evicted, so a
+	// long-lived server's memory stays bounded under arbitrarily many
+	// distinct requests. Default 4096.
+	MaxRecords int
 	// Breaker tunes the per-(benchmark, mode) circuit breakers.
 	Breaker BreakerConfig
 
@@ -113,6 +118,9 @@ func (c Config) normalized() Config {
 	if c.TracePath != "" || c.MetricsPath != "" {
 		c.Trace = true
 	}
+	if c.MaxRecords <= 0 {
+		c.MaxRecords = 4096
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -131,6 +139,15 @@ type runRecord struct {
 	errMsg string
 }
 
+// settle records a run's resolution. Settling twice is harmless: the body is
+// deterministic, and a record re-run after a failure eviction may legally
+// move from "failed" to "done".
+func (r *runRecord) settle(status string, body []byte, errMsg string) {
+	r.mu.Lock()
+	r.status, r.body, r.errMsg = status, body, errMsg
+	r.mu.Unlock()
+}
+
 // Server is the serving front-end. Build with New, mount Handler on any
 // http.Server (or call Serve), and Drain before exit.
 type Server struct {
@@ -142,11 +159,17 @@ type Server struct {
 
 	queueSlots chan struct{}
 	draining   atomic.Bool
-	inflight   sync.WaitGroup
-	breakers   *breakerSet
+	// drainMu serializes admission (the draining check plus inflight.Add)
+	// against Drain's flag flip, so no request can Add after Drain observed
+	// the flag set and started inflight.Wait — the documented WaitGroup
+	// Add/Wait race.
+	drainMu  sync.Mutex
+	inflight sync.WaitGroup
+	breakers *breakerSet
 
-	mu      sync.Mutex
-	records map[string]*runRecord
+	mu       sync.Mutex
+	records  map[string]*runRecord
+	recOrder []string // record ids in creation order, for bounded eviction
 
 	latencyEWMA atomic.Int64 // microseconds; feeds Retry-After estimates
 	latMu       sync.Mutex   // trace.Histogram is single-writer; handlers are not
@@ -267,6 +290,7 @@ func (s *Server) observeLatency(d time.Duration) {
 }
 
 // record returns the shared record for id, creating it in "running" state.
+// Creation may evict the oldest resolved records to keep the map bounded.
 func (s *Server) record(id string, key experiments.RunKey) *runRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -274,8 +298,37 @@ func (s *Server) record(id string, key experiments.RunKey) *runRecord {
 	if !ok {
 		rec = &runRecord{id: id, key: key, status: "running"}
 		s.records[id] = rec
+		s.recOrder = append(s.recOrder, id)
+		s.evictRecordsLocked()
 	}
 	return rec
+}
+
+// evictRecordsLocked drops the oldest resolved records until the map is back
+// under MaxRecords. Records still "running" are kept — their detached run
+// will resolve them, and their count is bounded by the runs in flight — so
+// the map can transiently exceed the cap by at most that amount.
+func (s *Server) evictRecordsLocked() {
+	if len(s.records) <= s.cfg.MaxRecords {
+		return
+	}
+	kept := s.recOrder[:0]
+	for i, id := range s.recOrder {
+		if len(s.records) <= s.cfg.MaxRecords {
+			kept = append(kept, s.recOrder[i:]...)
+			break
+		}
+		rec := s.records[id]
+		rec.mu.Lock()
+		running := rec.status == "running"
+		rec.mu.Unlock()
+		if running {
+			kept = append(kept, id)
+			continue
+		}
+		delete(s.records, id)
+	}
+	s.recOrder = kept
 }
 
 func (s *Server) lookupRecord(id string) (*runRecord, bool) {
@@ -318,7 +371,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, errBody{"admission queue full"})
 		return
 	}
+	// Re-check draining under drainMu before joining the inflight group: a
+	// request that raced past the fast-path check above must not Add after
+	// Drain flipped the flag and began inflight.Wait.
+	s.drainMu.Lock()
+	if s.draining.Load() {
+		s.drainMu.Unlock()
+		<-s.queueSlots
+		s.mQueue.Set(int64(len(s.queueSlots)))
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errBody{"server is draining"})
+		return
+	}
 	s.inflight.Add(1)
+	s.drainMu.Unlock()
 	s.mQueue.Set(int64(len(s.queueSlots)))
 	defer func() {
 		<-s.queueSlots
@@ -331,7 +397,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// admission so a half-open probe that is admitted always resolves.
 	bk := breakerKey{bench: spec.Bench, mode: spec.Mode}
 	br := s.breakers.get(bk)
-	ok, retry := br.allow()
+	ok, probe, retry := br.allow()
 	if !ok {
 		s.mBreaker.Add(1)
 		w.Header().Set("Retry-After", fmt.Sprint(int(math.Ceil(retry.Seconds()))))
@@ -350,11 +416,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), req.deadline(s.cfg.Deadline))
 	defer cancel()
 
+	// The breaker and the run record are resolved from the detached run's
+	// actual outcome, exactly once per distinct execution — not from this
+	// waiter. A probe whose client gives up therefore still closes or
+	// re-opens the circuit when its run finishes, and an abandoned run's
+	// record still flips to done/failed for later GETs.
 	start := s.cfg.now()
-	out, status, err := s.sched.Lookup(ctx, key)
+	out, status, err := s.sched.LookupNotify(ctx, key, func(out experiments.Outcome, err error) {
+		s.completeRun(rec, br, out, err)
+	})
 	s.observeLatency(s.cfg.now().Sub(start))
 	if status != experiments.LookupMiss {
 		s.mDedup.Add(1)
+	}
+	if probe && status == experiments.LookupHit {
+		// The probe was served from the memo cache: no fresh execution will
+		// report an outcome, so resolve the half-open state from the cached
+		// one here (failed entries are evicted, so a hit is a success unless
+		// it carries a degraded accelerator).
+		br.record(err != nil || (s.degraded(out) && s.breakers.cfg.DegradeAsFailure))
 	}
 	w.Header().Set("X-Fssim-Cache", status.String())
 	w.Header().Set("X-Fssim-Run-Id", id)
@@ -362,7 +442,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 			// This waiter gave up (deadline or disconnect); the run itself
-			// may still complete for others, so the breaker stays unfed.
+			// may still complete for others and settles the breaker and the
+			// record via the completion hook.
 			s.mFailed.Add(1)
 			if errors.Is(err, context.DeadlineExceeded) {
 				writeJSON(w, http.StatusGatewayTimeout, errBody{"deadline exceeded waiting for run " + id})
@@ -372,13 +453,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// The run itself failed (panic, per-run timeout, storm of faults, or
-		// drain cancellation): count it toward the breaker and the record.
+		// drain cancellation).
 		s.mFailed.Add(1)
-		br.record(true)
-		rec.mu.Lock()
-		rec.status = "failed"
-		rec.errMsg = err.Error()
-		rec.mu.Unlock()
 		var re *experiments.RunError
 		code := http.StatusInternalServerError
 		if errors.As(err, &re) && re.Timeout {
@@ -388,18 +464,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	degraded := false
-	if out.Accel != nil {
-		degraded = !out.Accel.Health().Healthy()
-	}
-	br.record(degraded && s.breakers.cfg.DegradeAsFailure)
 	s.mCompleted.Add(1)
+	body, degraded, merr := s.responseBody(id, key, out)
+	if merr != nil {
+		writeJSON(w, http.StatusInternalServerError, errBody{merr.Error()})
+		return
+	}
+	// Also settle the record here (not only in the completion hook) so a GET
+	// issued right after this response never observes a stale "running". The
+	// body is a pure function of (id, key, out), so the double write is
+	// byte-identical.
+	rec.settle("done", body, "")
+	if degraded {
+		w.Header().Set("X-Fssim-Degraded", "true")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
 
+// degraded reports whether a completed run's accelerator ended unhealthy (the
+// watchdog demoted its predictions).
+func (s *Server) degraded(out experiments.Outcome) bool {
+	return out.Accel != nil && !out.Accel.Health().Healthy()
+}
+
+// responseBody builds the deterministic 200 body for a completed run: a pure
+// function of (id, key, outcome), so every path that renders it — the waiter,
+// the detached completion hook, GET /v1/runs/{id} — produces identical bytes.
+func (s *Server) responseBody(id string, key experiments.RunKey, out experiments.Outcome) (body []byte, degraded bool, err error) {
+	degraded = s.degraded(out)
 	resp := RunResponse{
 		ID:        id,
 		Key:       key.String(),
-		Benchmark: spec.Bench,
-		Mode:      spec.Mode.String(),
+		Benchmark: key.Bench,
+		Mode:      key.Mode.String(),
 		Cycles:    out.Result.Stats.Cycles,
 		Insts:     out.Result.Stats.Insts,
 		IPC:       out.Result.Stats.IPC(),
@@ -407,22 +506,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Coverage:  out.Result.Stats.Coverage(),
 		Degraded:  degraded,
 	}
-	body, merr := json.Marshal(resp)
-	if merr != nil {
-		writeJSON(w, http.StatusInternalServerError, errBody{merr.Error()})
+	body, err = json.Marshal(resp)
+	if err != nil {
+		return nil, degraded, err
+	}
+	return append(body, '\n'), degraded, nil
+}
+
+// completeRun is the detached-execution completion hook: invoked exactly once
+// per distinct run (even if every waiter abandoned it), it feeds the run's
+// final outcome to the circuit breaker and settles the shared record.
+func (s *Server) completeRun(rec *runRecord, br *breaker, out experiments.Outcome, err error) {
+	if err != nil {
+		br.record(true)
+		rec.settle("failed", nil, err.Error())
 		return
 	}
-	body = append(body, '\n')
-	rec.mu.Lock()
-	rec.status = "done"
-	rec.body = body
-	rec.mu.Unlock()
-	if degraded {
-		w.Header().Set("X-Fssim-Degraded", "true")
+	degraded := s.degraded(out)
+	br.record(degraded && s.breakers.cfg.DegradeAsFailure)
+	body, _, merr := s.responseBody(rec.id, rec.key, out)
+	if merr != nil {
+		rec.settle("failed", nil, merr.Error())
+		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(body)
+	rec.settle("done", body, "")
 }
 
 // handleGet is GET /v1/runs/{id}: the stored (byte-identical) result body of
@@ -513,7 +620,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // wait for them to unwind, and finally flush trace/metrics artifacts. Safe
 // to call once; Serve calls it on context cancellation.
 func (s *Server) Drain(ctx context.Context) error {
+	// The drainMu handshake with handleSubmit guarantees no admission can
+	// inflight.Add after the flag flip is visible here.
+	s.drainMu.Lock()
 	s.draining.Store(true)
+	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()

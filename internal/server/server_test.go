@@ -19,14 +19,15 @@ import (
 
 	"fssim/internal/experiments"
 	"fssim/internal/kernel"
+	"fssim/internal/machine"
 	"fssim/internal/workload"
 )
 
 // Misbehaving benchmarks the serving tests drive. Hidden keeps them out of
 // workload.Names() (and therefore out of every real experiment).
 var (
-	flakyFail atomic.Bool          // srv-flaky panics while set
-	gateMu    sync.Mutex           // guards gate
+	flakyFail atomic.Bool           // srv-flaky panics while set
+	gateMu    sync.Mutex            // guards gate
 	gate      = make(chan struct{}) // srv-gate blocks until the current gate closes
 )
 
@@ -88,6 +89,15 @@ func init() {
 		k.Spawn("gate", func(p *kernel.Proc) {
 			<-currentGate()
 			p.U.Mix(1_000)
+		})
+	})
+	workload.Register(workload.Benchmark{
+		Name: "srv-gate-fail", Hidden: true,
+		Description: "blocks until the gate releases, then panics",
+	}, func(k *kernel.Kernel, scale float64) {
+		k.Spawn("gatefail", func(p *kernel.Proc) {
+			<-currentGate()
+			panic("deliberate post-gate failure")
 		})
 	})
 }
@@ -277,6 +287,177 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	}
 	if _, err := c.Run(ctx, req); err != nil {
 		t.Fatalf("breaker did not close after successful probe: %v", err)
+	}
+}
+
+// TestAbandonedProbeDoesNotWedgeBreaker: the half-open probe's waiter giving
+// up (here: a 1ms deadline) must not strand the circuit in half-open — the
+// detached run's completion resolves the breaker even with no waiter left.
+func TestAbandonedProbeDoesNotWedgeBreaker(t *testing.T) {
+	flakyFail.Store(true)
+	defer flakyFail.Store(false)
+	s, c := newTestServer(t, Config{
+		Workers: 2,
+		Breaker: BreakerConfig{Window: 4, FailureThreshold: 0.5, MinSamples: 2, Cooldown: 100 * time.Millisecond},
+	})
+	ctx := context.Background()
+
+	// Two failed runs (distinct keys) open the breaker.
+	for i := int64(1); i <= 2; i++ {
+		if _, err := c.Run(ctx, RunRequest{Benchmark: "srv-flaky", Scale: 0.1, Seed: i}); err == nil {
+			t.Fatalf("flaky run %d unexpectedly succeeded", i)
+		}
+	}
+	br := s.breakers.get(breakerKey{bench: "srv-flaky", mode: machine.FullSystem})
+	waitFor(t, func() bool { return br.snapshot() == breakerOpen })
+
+	// The benchmark recovers. After the cooldown, a probe whose client waits
+	// only 1ms abandons the run almost surely before it completes.
+	flakyFail.Store(false)
+	time.Sleep(120 * time.Millisecond)
+	_, _ = c.Run(ctx, RunRequest{Benchmark: "srv-flaky", Scale: 0.1, Seed: 3, DeadlineMS: 1})
+
+	// The detached completion must close the circuit; follow-up requests are
+	// served, not fast-failed.
+	waitFor(t, func() bool { return br.snapshot() == breakerClosed })
+	if _, err := c.Run(ctx, RunRequest{Benchmark: "srv-flaky", Scale: 0.1, Seed: 4}); err != nil {
+		t.Fatalf("breaker wedged after abandoned probe: %v", err)
+	}
+}
+
+// TestAbandonedRunStillResolvesRecord: when every waiter gives up before the
+// run completes, the detached completion still settles the run record, so
+// GET /v1/runs/{id} serves the documented "result may become available later
+// under the same id" contract instead of reporting 202 forever.
+func TestAbandonedRunStillResolvesRecord(t *testing.T) {
+	resetGate()
+	_, c := newTestServer(t, Config{Workers: 2, Deadline: 30 * time.Second})
+	ctx := context.Background()
+	req := RunRequest{Benchmark: "srv-gate", Scale: 0.1, Seed: 11, DeadlineMS: 50}
+
+	_, err := c.Run(ctx, req)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("gated run with 50ms deadline returned %v, want ErrDeadline", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("504 without APIError: %v", err)
+	}
+	id := strings.TrimPrefix(ae.Message, "deadline exceeded waiting for run ")
+	if id == ae.Message || id == "" {
+		t.Fatalf("504 body does not name the run id: %q", ae.Message)
+	}
+
+	// Still gated: the record reports running (202).
+	if res, err := c.Get(ctx, id); err != nil || res != nil {
+		t.Fatalf("Get before completion = (%v, %v), want 202 (nil, nil)", res, err)
+	}
+
+	// Release the run with no waiter attached; the detached completion must
+	// settle the record.
+	closeGate()
+	var got *RunResult
+	waitFor(t, func() bool {
+		res, err := c.Get(ctx, id)
+		got = res
+		return err == nil && res != nil
+	})
+	if got.Response.ID != id || got.Response.Cycles == 0 {
+		t.Errorf("implausible settled record: %+v", got.Response)
+	}
+
+	// The settled body is byte-identical to what a fresh POST now serves.
+	req.DeadlineMS = 0
+	fresh, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatalf("post-release run failed: %v", err)
+	}
+	if !bytes.Equal(fresh.Body, got.Body) {
+		t.Errorf("settled record body differs from POST body:\n%s\n%s", got.Body, fresh.Body)
+	}
+}
+
+// TestCoalescedFailureFeedsBreakerOnce: one failed execution shared by three
+// coalesced waiters counts as one breaker outcome, not three — otherwise a
+// single popular failing run could open the circuit by itself.
+func TestCoalescedFailureFeedsBreakerOnce(t *testing.T) {
+	resetGate()
+	s, c := newTestServer(t, Config{Workers: 2, Deadline: 30 * time.Second,
+		Breaker: BreakerConfig{Window: 8, FailureThreshold: 0.5, MinSamples: 3, Cooldown: time.Second}})
+	ctx := context.Background()
+	req := RunRequest{Benchmark: "srv-gate-fail", Scale: 0.1, Seed: 5}
+
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, err := c.Run(ctx, req)
+			errs <- err
+		}()
+	}
+	// All three are attached to the single in-flight run (1 miss + 2 joins)
+	// before the gate releases it into its panic.
+	waitFor(t, func() bool {
+		st := s.sched.Stats()
+		return st.Misses == 1 && st.Hits == 2
+	})
+	closeGate()
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err == nil {
+			t.Fatal("coalesced run on a panicking benchmark succeeded")
+		}
+	}
+
+	br := s.breakers.get(breakerKey{bench: "srv-gate-fail", mode: machine.FullSystem})
+	waitFor(t, func() bool {
+		br.mu.Lock()
+		defer br.mu.Unlock()
+		return br.n == 1
+	})
+	br.mu.Lock()
+	n, fails, state := br.n, br.fails, br.state
+	br.mu.Unlock()
+	if n != 1 || fails != 1 {
+		t.Errorf("breaker ring = %d outcomes / %d failures for one shared run, want 1/1", n, fails)
+	}
+	if state != breakerClosed {
+		t.Errorf("breaker state = %v after a single failure below MinSamples, want closed", state)
+	}
+}
+
+// TestRunRecordsBounded: the per-id record map must not grow without bound —
+// past MaxRecords the oldest resolved records are evicted (404), while the
+// newest stay addressable.
+func TestRunRecordsBounded(t *testing.T) {
+	s, c := newTestServer(t, Config{MaxRecords: 2})
+	ctx := context.Background()
+	var first, last *RunResult
+	for i := int64(1); i <= 5; i++ {
+		res, err := c.Run(ctx, okRequest(i))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if first == nil {
+			first = res
+		}
+		last = res
+	}
+	s.mu.Lock()
+	n := len(s.records)
+	s.mu.Unlock()
+	if n > 2 {
+		t.Errorf("records map holds %d entries, want <= MaxRecords=2", n)
+	}
+	if res, err := c.Get(ctx, last.Response.ID); err != nil || res == nil {
+		t.Errorf("newest record unavailable: (%v, %v)", res, err)
+	}
+	_, err := c.Get(ctx, first.Response.ID)
+	if err == nil {
+		t.Error("oldest record still addressable past the bound")
+	} else {
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+			t.Errorf("evicted record error = %v, want 404", err)
+		}
 	}
 }
 
