@@ -1,5 +1,5 @@
 // Package fssim's benchmark harness: one testing.B benchmark per paper
-// artifact (Figures 1-12, Tables 1-2), the DESIGN.md §7 ablations, and
+// artifact (Figures 1-12, Tables 1-2), the DESIGN.md §8 ablations, and
 // micro-benchmarks of the simulator substrate. Run with:
 //
 //	go test -bench=. -benchmem
@@ -24,6 +24,7 @@ import (
 	"fssim/internal/isa"
 	"fssim/internal/machine"
 	"fssim/internal/memsys"
+	"fssim/internal/pltstore"
 	"fssim/internal/server"
 	"fssim/internal/workload"
 )
@@ -446,4 +447,87 @@ func runOnce(b *testing.B, bench string, tweak func(*machine.Config)) machine.St
 		b.Fatal(err)
 	}
 	return res.Stats
+}
+
+// benchSnapshot learns a PLT on one cold accelerated ab-seq run and wraps
+// the exported state as a store snapshot — the input to the persistence
+// benches below.
+func benchSnapshot(b *testing.B) *pltstore.Snapshot {
+	b.Helper()
+	opts := workload.DefaultOptions()
+	opts.Scale = benchScale
+	opts.Machine.Mode = machine.Accelerated
+	acc := core.NewAccelerator(core.DefaultParams())
+	opts.Sink = acc
+	res, err := workload.Run("ab-seq", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	learn := pltstore.LearnHash("ab-seq", opts.Machine, core.DefaultParams(), benchScale, "")
+	return &pltstore.Snapshot{
+		LearnHash:  learn,
+		ReplayHash: pltstore.ReplayHash(learn, "bench:ab-seq", opts.Machine.Seed),
+		Benchmark:  "ab-seq",
+		Key:        "bench:ab-seq",
+		Stats:      res.Stats,
+		State:      acc.Export(),
+	}
+}
+
+// BenchmarkSnapshotSave measures persisting one learned PLT snapshot:
+// validate, encode (with checksum), atomic temp-file + rename write.
+func BenchmarkSnapshotSave(b *testing.B) {
+	snap := benchSnapshot(b)
+	st := pltstore.Open(b.TempDir())
+	b.SetBytes(int64(len(pltstore.Encode(snap))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Save(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad measures the warm-start read path: file read,
+// checksum verify, strict decode, semantic validation.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	snap := benchSnapshot(b)
+	st := pltstore.Open(b.TempDir())
+	if err := st.Save(snap); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(pltstore.Encode(snap))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Load("ab-seq", snap.LearnHash); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmVsColdSimulation compares an accelerated run that imports a
+// persisted PLT before simulating against the cold run that learns from
+// scratch: the detailed-interval counts quantify the work a warm start
+// skips, the per-op time is the warm run itself.
+func BenchmarkWarmVsColdSimulation(b *testing.B) {
+	snap := benchSnapshot(b)
+	coldDetailed := snap.Stats.Intervals - snap.Stats.Emulated
+	for i := 0; i < b.N; i++ {
+		acc := core.NewAccelerator(core.DefaultParams())
+		if err := acc.Import(snap.State); err != nil {
+			b.Fatal(err)
+		}
+		opts := workload.DefaultOptions()
+		opts.Scale = benchScale
+		opts.Machine.Mode = machine.Accelerated
+		opts.Sink = acc
+		res, err := workload.Run("ab-seq", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmDetailed := res.Stats.Intervals - res.Stats.Emulated
+		b.ReportMetric(float64(coldDetailed), "cold-detailed")
+		b.ReportMetric(float64(warmDetailed), "warm-detailed")
+		b.ReportMetric(100*res.Stats.Coverage(), "warm-cov-%")
+	}
 }

@@ -22,6 +22,8 @@
 //	fsbench -trace out.json  # record every run; export Chrome trace JSON
 //	fsbench -trace out.jsonl # ... or compact JSON lines (by extension)
 //	fsbench -metrics -       # dump per-run metrics registries (- = stdout)
+//	fsbench -warm-dir warm   # persist learned PLTs; replay identical runs
+//	                         # across invocations (tables stay byte-identical)
 //
 // Ctrl-C cancels cleanly: in-flight simulations abort cooperatively, and
 // experiments that already finished are still printed. A run that fails
@@ -53,6 +55,7 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for a failed simulation, each with a fresh derived seed")
 	traceOut := flag.String("trace", "", "record every simulation and export a trace file (.jsonl = JSON lines, anything else = Chrome trace-event JSON for Perfetto)")
 	metricsOut := flag.String("metrics", "", "write per-run metrics registries plus harness counters to this file (- = stdout)")
+	warmDir := flag.String("warm-dir", "", "persist learned PLT snapshots here and replay identical accelerated runs across invocations (empty = off)")
 	var parallel int
 	flag.IntVar(&parallel, "parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	flag.IntVar(&parallel, "j", 0, "shorthand for -parallel")
@@ -85,7 +88,8 @@ func main() {
 	cfg := experiments.Config{
 		Scale: *scale, Seed: *seed, Parallelism: parallel,
 		Timeout: *timeout, Retries: *retries, FaultPlan: *faultPlan,
-		Trace: *traceOut != "" || *metricsOut != "",
+		Trace:   *traceOut != "" || *metricsOut != "",
+		WarmDir: *warmDir,
 	}.WithContext(ctx)
 	if *pincosts {
 		mc := experiments.ReferenceModeCosts
@@ -121,10 +125,22 @@ func main() {
 			fmt.Printf("trace: wrote %s\n", *traceOut)
 		}
 	}
+	// The authoritative snapshot sweep: when WriteArtifacts didn't run (no
+	// -trace/-metrics), an invocation with a warm dir still leaves every
+	// completed accelerated run's learned table on disk before exiting.
+	if *warmDir != "" && *traceOut == "" && *metricsOut == "" {
+		if _, werr := sched.FlushWarm(); werr != nil {
+			fmt.Fprintf(os.Stderr, "fsbench: plt snapshot flush: %v\n", werr)
+		}
+	}
 	st := sched.Stats()
 	fmt.Printf("suite: %d/%d experiments, %d distinct simulations (%d requests, %d served from cache, %d failed, %d retried), sim %.1fs in %.1fs wall at -j %d\n",
 		ok, len(results), st.Distinct, st.Hits+st.Misses, st.Hits, st.Failures, st.Retries,
 		st.SimWall.Seconds(), time.Since(start).Seconds(), sched.Parallelism())
+	if *warmDir != "" {
+		fmt.Printf("plt: %d replayed warm, %d cold, %d invalidated, %d snapshots saved, %d instances learned\n",
+			st.WarmHits, st.WarmMisses, st.WarmInvalid, st.WarmSaves, st.PLTLearned)
+	}
 	if err != nil {
 		os.Exit(1)
 	}

@@ -7,6 +7,7 @@
 //	fssim -bench ab-rand -mode accel      # the paper's accelerated scheme
 //	fssim -bench du -mode apponly         # application-only baseline
 //	fssim -bench iperf -l2 2097152        # 2MB L2
+//	fssim -bench ab-rand -mode accel -warm-dir warm   # persist + warm-start the PLT
 //	fssim -list                           # available benchmarks
 package main
 
@@ -19,6 +20,7 @@ import (
 
 	"fssim/internal/core"
 	"fssim/internal/machine"
+	"fssim/internal/pltstore"
 	"fssim/internal/workload"
 )
 
@@ -35,6 +37,7 @@ func main() {
 	trace := flag.String("trace", "", "write every OS service interval as CSV to this file ('-' = stdout)")
 	tlb := flag.Bool("tlb", false, "enable TLB modeling (64-entry I/D TLBs, 30-cycle walks)")
 	prefetch := flag.Bool("prefetch", false, "enable the L2 next-line prefetcher")
+	warmDir := flag.String("warm-dir", "", "accel mode: import a persisted PLT snapshot from this directory before simulating, and persist the learned table after (empty = off)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -128,9 +131,35 @@ func main() {
 		fail("unknown mode %q", *mode)
 	}
 
+	// Warm start: import a compatible persisted PLT before simulating; a
+	// stale, mismatched or corrupt snapshot silently stays cold.
+	var store *pltstore.Store
+	var learnHash uint64
+	warmed := false
+	if acc != nil && *warmDir != "" {
+		store = pltstore.Open(*warmDir)
+		learnHash = pltstore.LearnHash(*bench, opts.Machine, acc.Export().Params, opts.Scale, "")
+		if snap, err := store.Load(*bench, learnHash); err == nil {
+			warmed = acc.Import(snap.State) == nil
+		}
+	}
+
 	res, err := workload.Run(*bench, opts)
 	if err != nil {
 		fail("%v", err)
+	}
+	if store != nil {
+		snap := &pltstore.Snapshot{
+			LearnHash:  learnHash,
+			ReplayHash: pltstore.ReplayHash(learnHash, "fssim:"+*bench, opts.Machine.Seed),
+			Benchmark:  *bench,
+			Key:        "fssim:" + *bench,
+			Stats:      res.Stats,
+			State:      acc.Export(),
+		}
+		if err := store.Save(snap); err != nil {
+			fmt.Fprintf(os.Stderr, "fssim: plt snapshot not saved: %v\n", err)
+		}
 	}
 	host := res.Wall
 	st := res.Stats
@@ -150,9 +179,13 @@ func main() {
 		st.BrLookups, 100*float64(st.BrMispreds)/float64(max64(st.BrLookups, 1)))
 	if acc != nil {
 		sum := acc.Summary()
-		fmt.Printf("acceleration     coverage %.1f%% of %d invocations; %d clusters over %d services; %d re-learns; %d outliers\n",
+		warmNote := ""
+		if warmed {
+			warmNote = " (warm-started)"
+		}
+		fmt.Printf("acceleration     coverage %.1f%% of %d invocations; %d clusters over %d services; %d re-learns; %d outliers%s\n",
 			100*sum.Coverage(), sum.Learned+sum.Predicted, sum.Clusters, sum.Services,
-			sum.Relearns, sum.Outliers)
+			sum.Relearns, sum.Outliers, warmNote)
 		fmt.Printf("fast-forwarded   %d of %d instructions (%.1f%%)\n",
 			st.EmuInsts, st.Insts, 100*float64(st.EmuInsts)/float64(st.Insts))
 		if *services {

@@ -12,12 +12,14 @@
 //	fssimd -timeout 2m             # per-simulation wall-clock limit
 //	fssimd -drain-timeout 15s      # graceful-drain budget on SIGTERM/SIGINT
 //	fssimd -trace trace.json -metrics metrics.txt  # artifacts flushed on drain
+//	fssimd -warm-dir warm          # persist learned PLTs; replay across restarts
 //
 // Endpoints:
 //
 //	POST /v1/runs            submit a run; body {"benchmark": "ab-rand", ...}
 //	GET  /v1/runs/{id}       a completed run's (byte-identical) result
 //	GET  /v1/runs/{id}/trace the run's Chrome trace-event JSON (with -trace)
+//	GET  /v1/plt/{benchmark} the newest persisted PLT snapshot (with -warm-dir)
 //	GET  /healthz            liveness
 //	GET  /readyz             readiness (503 while draining)
 //	GET  /metrics            serving-path and scheduler counters
@@ -54,6 +56,7 @@ func main() {
 	traceOut := flag.String("trace", "", "record every simulation; flush a trace file on drain (.jsonl = JSON lines, else Chrome trace-event JSON)")
 	metricsOut := flag.String("metrics", "", "flush per-run metrics registries plus harness counters to this file on drain (- = stdout)")
 	doTrace := flag.Bool("record", false, "record simulations (enables GET /v1/runs/{id}/trace) even without -trace/-metrics")
+	warmDir := flag.String("warm-dir", "", "persist learned PLT snapshots here and replay identical accelerated requests across restarts (empty = off)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -69,6 +72,7 @@ func main() {
 		Trace:        *doTrace,
 		TracePath:    *traceOut,
 		MetricsPath:  *metricsOut,
+		WarmDir:      *warmDir,
 	}
 
 	// SIGTERM (orchestrators) and SIGINT (terminals) both start the drain:

@@ -53,6 +53,7 @@ import (
 	"fssim/internal/isa"
 	"fssim/internal/kernel"
 	"fssim/internal/machine"
+	"fssim/internal/pltstore"
 	"fssim/internal/server"
 	"fssim/internal/trace"
 	"fssim/internal/workload"
@@ -139,6 +140,15 @@ type Options struct {
 	TLB bool
 	// Prefetch enables the L2 next-line prefetcher — likewise an extension.
 	Prefetch bool
+	// WarmDir roots a PLT snapshot store (a directory; created on first
+	// save). Accelerated runs import a compatible persisted table before
+	// simulating — a warm start that skips the learning phase wherever the
+	// table already covers the service mix — and persist their learned table
+	// after. Compatibility is hash-gated on (benchmark, machine config,
+	// acceleration parameters, scale): a stale, mismatched or corrupt
+	// snapshot is ignored and the run starts cold; it never produces a wrong
+	// prediction. Empty disables persistence.
+	WarmDir string
 	// Observer, if set, receives every completed OS service interval.
 	Observer func(IntervalRecord)
 	// Trace, if set, records every OS service interval plus the kernel's and
@@ -193,6 +203,10 @@ type Report struct {
 	// Machine and Kernel expose the finished simulation for inspection.
 	Machine *Machine
 	Kernel  *Kernel
+	// WarmStarted reports that the run imported a persisted PLT from
+	// Options.WarmDir before simulating (false for cold starts, including
+	// every run whose snapshot was absent, stale or corrupt).
+	WarmStarted bool
 	// Err is non-nil when the run ended abnormally (a guest-thread panic
 	// captured by the kernel scheduler, or a cancellation); Stats then cover
 	// the simulated prefix.
@@ -221,14 +235,40 @@ func Benchmarks() []string { return workload.Names() }
 // OSIntensiveBenchmarks returns the five OS-intensive workload names.
 func OSIntensiveBenchmarks() []string { return workload.OSIntensiveNames() }
 
-// RunBenchmark builds and runs one of the named evaluation workloads.
+// RunBenchmark builds and runs one of the named evaluation workloads. With
+// Options.WarmDir set, an Accelerated run warm-starts from (and persists to)
+// the PLT snapshot store rooted there.
 func RunBenchmark(name string, o Options) (*Report, error) {
 	opts, acc := o.toWorkload()
+	var store *pltstore.Store
+	var learn uint64
+	warmed := false
+	if acc != nil && o.WarmDir != "" {
+		store = pltstore.Open(o.WarmDir)
+		// Export on the fresh accelerator yields the exact Params it was
+		// built with, so the hash gates on what this run would learn under.
+		learn = pltstore.LearnHash(name, opts.Machine, acc.Export().Params, opts.Scale, "")
+		if snap, err := store.Load(name, learn); err == nil {
+			warmed = acc.Import(snap.State) == nil
+		}
+	}
 	res, err := workload.Run(name, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Stats: res.Stats, Accel: acc, Machine: res.Machine, Kernel: res.Kernel}, nil
+	if store != nil {
+		snap := &pltstore.Snapshot{
+			LearnHash:  learn,
+			ReplayHash: pltstore.ReplayHash(learn, "fssim:"+name, opts.Machine.Seed),
+			Benchmark:  name,
+			Key:        "fssim:" + name,
+			Stats:      res.Stats,
+			State:      acc.Export(),
+		}
+		// Best effort: an unwritable warm dir degrades persistence, not the run.
+		_ = store.Save(snap)
+	}
+	return &Report{Stats: res.Stats, Accel: acc, Machine: res.Machine, Kernel: res.Kernel, WarmStarted: warmed}, nil
 }
 
 // System is an assembled simulated machine + OS awaiting custom workloads.

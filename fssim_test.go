@@ -77,7 +77,7 @@ func TestPublicLists(t *testing.T) {
 	if len(fssim.Benchmarks()) != 10 || len(fssim.OSIntensiveBenchmarks()) != 5 {
 		t.Fatal("benchmark lists wrong")
 	}
-	if len(fssim.Experiments()) != 15 {
+	if len(fssim.Experiments()) != 16 {
 		t.Fatal("experiment list wrong")
 	}
 }
@@ -89,5 +89,46 @@ func TestPublicRunExperiment(t *testing.T) {
 	}
 	if len(out) == 0 {
 		t.Fatal("empty experiment output")
+	}
+}
+
+func TestPublicWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	opts := fssim.Options{Mode: fssim.Accelerated, Scale: 0.2, WarmDir: dir}
+
+	cold, err := fssim.RunBenchmark("ab-seq", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmStarted {
+		t.Error("first run reported a warm start with an empty store")
+	}
+
+	warm, err := fssim.RunBenchmark("ab-seq", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Fatal("second run did not warm-start from the persisted snapshot")
+	}
+	if warm.Coverage() <= cold.Coverage() {
+		t.Errorf("warm coverage %.3f not above cold %.3f (learning window not skipped)",
+			warm.Coverage(), cold.Coverage())
+	}
+	coldSum, warmSum := cold.Accel.Summary(), warm.Accel.Summary()
+	if warmSum.Learned-coldSum.Learned >= coldSum.Learned {
+		t.Errorf("warm run learned %d new instances vs %d cold (warm start saved nothing)",
+			warmSum.Learned-coldSum.Learned, coldSum.Learned)
+	}
+
+	// A different configuration hashes elsewhere: cold again, no error.
+	other := opts
+	other.Scale = 0.3
+	rerun, err := fssim.RunBenchmark("ab-seq", other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.WarmStarted {
+		t.Error("scale change still warm-started: hash gate missed a config field")
 	}
 }

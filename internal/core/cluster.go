@@ -136,6 +136,12 @@ type PLT struct {
 // range contains sig, the one with the closest centroid; nil if none is in
 // range (an outlier). abs > 0 selects fixed-size ranges (see InRange);
 // mix additionally requires the instruction-mix components to match.
+//
+// Ties are deterministic: when two in-range clusters are equidistant from
+// sig, the lowest-index (earliest-learned) cluster wins — the strict `<`
+// comparison never replaces an established best. Snapshot round trips
+// preserve cluster order, so a warm-started table resolves ties exactly as
+// the continuous run would have.
 func (t *PLT) Match(sig Signature, frac, abs float64, mix bool) *Cluster {
 	var best *Cluster
 	for _, c := range t.Clusters {
@@ -154,6 +160,7 @@ func (t *PLT) Match(sig Signature, frac, abs float64, mix bool) *Cluster {
 
 // Nearest returns the cluster with the closest centroid regardless of range
 // (the fallback used to predict outlier instances), or nil if empty.
+// Equidistant candidates resolve like Match: the lowest index wins.
 func (t *PLT) Nearest(sig Signature) *Cluster {
 	var best *Cluster
 	for _, c := range t.Clusters {

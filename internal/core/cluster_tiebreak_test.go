@@ -1,0 +1,53 @@
+package core
+
+import "testing"
+
+// TestPLTMatchTieBreakLowestIndex pins the deterministic tie-break Match
+// documents: when two in-range clusters are exactly equidistant from the
+// signature, the lowest-index (earliest-learned) cluster wins, regardless of
+// centroid values. Warm-start correctness depends on this: snapshots
+// preserve cluster order, so an imported table must resolve ties the same
+// way the continuous run did.
+func TestPLTMatchTieBreakLowestIndex(t *testing.T) {
+	lo := &Cluster{Centroid: 900, N: 1}
+	hi := &Cluster{Centroid: 1100, N: 1}
+	// |1000-900| == |1000-1100| == 100, and both are in range at ±20%.
+	plt := PLT{Clusters: []*Cluster{lo, hi}}
+	if c := plt.Match(sig(1000), 0.2, 0, false); c != lo {
+		t.Errorf("equidistant match picked centroid %v, want the lowest index (900)", c.Centroid)
+	}
+	// Reversing the table order reverses the winner: the rule is positional,
+	// not value-based.
+	flipped := PLT{Clusters: []*Cluster{hi, lo}}
+	if c := flipped.Match(sig(1000), 0.2, 0, false); c != hi {
+		t.Errorf("equidistant match picked centroid %v, want the lowest index (1100)", c.Centroid)
+	}
+}
+
+// TestPLTNearestTieBreakLowestIndex pins the same rule for the outlier
+// fallback path, which ignores ranges entirely.
+func TestPLTNearestTieBreakLowestIndex(t *testing.T) {
+	lo := &Cluster{Centroid: 400, N: 1}
+	hi := &Cluster{Centroid: 1600, N: 1}
+	plt := PLT{Clusters: []*Cluster{lo, hi}}
+	if c := plt.Nearest(sig(1000)); c != lo {
+		t.Errorf("equidistant nearest picked centroid %v, want the lowest index", c.Centroid)
+	}
+	flipped := PLT{Clusters: []*Cluster{hi, lo}}
+	if c := flipped.Nearest(sig(1000)); c != hi {
+		t.Errorf("equidistant nearest picked centroid %v, want the lowest index", c.Centroid)
+	}
+}
+
+// TestPLTEmptyTable pins the empty-table contract: Match and Nearest both
+// return nil (the learner's fallback then predicts IPC 1, see
+// TestFallbackEmptyTable) rather than panicking or inventing a cluster.
+func TestPLTEmptyTable(t *testing.T) {
+	var plt PLT
+	if c := plt.Nearest(sig(123)); c != nil {
+		t.Errorf("Nearest on empty table = %+v, want nil", c)
+	}
+	if c := plt.Match(sig(123), 0.05, 0, false); c != nil {
+		t.Errorf("Match on empty table = %+v, want nil", c)
+	}
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fssim/internal/isa"
+	"fssim/internal/stats"
+)
+
+// This file is the snapshot boundary of the acceleration engine: Export
+// captures everything a Learner's state machine holds — PLT clusters with
+// full moments, phase, outlier bookkeeping, watchdog rings, counters — into
+// plain exported value types, and Import rebuilds an equivalent engine from
+// them. The invariant warm-starting rests on: an imported accelerator
+// produces exactly the predictions (and exactly the re-export) the original
+// would have, so a warm-started run's predictions come from the same
+// clusters a continuous run would have used.
+//
+// Import is the trust boundary for on-disk state (internal/pltstore feeds it
+// decoded snapshot files): it strictly validates everything — NaN or
+// negative centroids, out-of-range cluster counts, inconsistent ring sizes —
+// and rejects with ErrBadState rather than letting a corrupt file poison
+// predictions.
+
+// ErrBadState tags every validation failure of an accelerator snapshot.
+// Callers degrade to a cold start when they see it.
+var ErrBadState = errors.New("core: invalid accelerator state")
+
+// Snapshot size limits. Real runs stay orders of magnitude below these; a
+// crafted or corrupt snapshot that exceeds them is rejected instead of
+// allocating unbounded memory.
+const (
+	maxSnapshotLearners = 1 << 12
+	maxSnapshotClusters = 1 << 16
+	maxSnapshotOutliers = 1 << 16
+	maxSnapshotEPOs     = 1 << 20
+	maxSnapshotRing     = 1 << 20
+	maxOutlierID        = 30000 // nextOutID wraps here (see Learner.outlier)
+)
+
+// PerfState is the exported form of a cluster's Perf accumulators: the nine
+// per-metric moments the PLT records for prediction.
+type PerfState struct {
+	Cycles stats.Moments
+	L1IM   stats.Moments
+	L1DM   stats.Moments
+	L2M    stats.Moments
+	L1IA   stats.Moments
+	L1DA   stats.Moments
+	L2A    stats.Moments
+	L2WB   stats.Moments
+	IPC    stats.Moments
+}
+
+func (p *Perf) export() PerfState {
+	return PerfState{
+		Cycles: p.Cycles.Moments(),
+		L1IM:   p.L1IM.Moments(),
+		L1DM:   p.L1DM.Moments(),
+		L2M:    p.L2M.Moments(),
+		L1IA:   p.L1IA.Moments(),
+		L1DA:   p.L1DA.Moments(),
+		L2A:    p.L2A.Moments(),
+		L2WB:   p.L2WB.Moments(),
+		IPC:    p.IPC.Moments(),
+	}
+}
+
+func (ps PerfState) restore() Perf {
+	return Perf{
+		Cycles: stats.WelfordFromMoments(ps.Cycles),
+		L1IM:   stats.WelfordFromMoments(ps.L1IM),
+		L1DM:   stats.WelfordFromMoments(ps.L1DM),
+		L2M:    stats.WelfordFromMoments(ps.L2M),
+		L1IA:   stats.WelfordFromMoments(ps.L1IA),
+		L1DA:   stats.WelfordFromMoments(ps.L1DA),
+		L2A:    stats.WelfordFromMoments(ps.L2A),
+		L2WB:   stats.WelfordFromMoments(ps.L2WB),
+		IPC:    stats.WelfordFromMoments(ps.IPC),
+	}
+}
+
+// moments lists the nine accumulators for validation.
+func (ps PerfState) moments() []stats.Moments {
+	return []stats.Moments{ps.Cycles, ps.L1IM, ps.L1DM, ps.L2M,
+		ps.L1IA, ps.L1DA, ps.L2A, ps.L2WB, ps.IPC}
+}
+
+// ClusterState is the exported form of one scaled cluster.
+type ClusterState struct {
+	Centroid    float64
+	MixCentroid [3]float64
+	N           int64
+	Perf        PerfState
+}
+
+// OutlierState is the exported form of one outlier entry (the occurrence
+// bookkeeping the re-learning strategies score; paper §4.4).
+type OutlierState struct {
+	ID       int
+	Centroid float64
+	N        int64
+	EPOs     []float64
+}
+
+// LearnerState is the exported form of one service's learner: table, phase
+// machine, outlier and watchdog bookkeeping, and evaluation counters.
+type LearnerState struct {
+	Service isa.ServiceID
+	Phase   int
+	Seen    int64
+
+	WarmLeft  int
+	LearnLeft int
+
+	Ring    []int16
+	RingPos int
+
+	NextOutID int
+	Outliers  []OutlierState
+
+	WDRing []bool
+	WDPos  int
+	WDLen  int
+	WDOut  int
+
+	HoldLeft     int
+	RearmSeen    int
+	RearmMatched int
+
+	Learned   int64
+	Predicted int64
+	OutlierN  int64
+	Relearns  int64
+	Degrades  int64
+
+	ObsCycles float64
+	ObsInsts  float64
+
+	Clusters []ClusterState
+}
+
+// AccelState is the full exported state of an Accelerator: its parameters
+// and every learner in first-seen order. All fields are plain values, so the
+// type is directly serializable (internal/pltstore) and comparable with
+// reflect.DeepEqual in tests.
+type AccelState struct {
+	Params   Params
+	Deferred bool
+	Learners []LearnerState
+}
+
+// Export deep-copies the accelerator's complete state. The returned state
+// shares no memory with the accelerator, so it stays valid (and immutable)
+// however the run continues.
+func (a *Accelerator) Export() *AccelState {
+	st := &AccelState{Params: a.params, Deferred: a.deferred}
+	if len(a.order) > 0 {
+		st.Learners = make([]LearnerState, 0, len(a.order))
+	}
+	for _, svc := range a.order {
+		st.Learners = append(st.Learners, a.learners[svc].export())
+	}
+	return st
+}
+
+func (l *Learner) export() LearnerState {
+	ls := LearnerState{
+		Service:   l.Svc,
+		Phase:     int(l.phase),
+		Seen:      l.seen,
+		WarmLeft:  l.warmLeft,
+		LearnLeft: l.learnLeft,
+		Ring:      append([]int16(nil), l.ring...),
+		RingPos:   l.ringPos,
+		NextOutID: l.nextOutID,
+		WDPos:     l.wdPos,
+		WDLen:     l.wdLen,
+		WDOut:     l.wdOut,
+		HoldLeft:  l.holdLeft,
+		RearmSeen: l.rearmSeen, RearmMatched: l.rearmMatched,
+		Learned: l.Learned, Predicted: l.Predicted, OutlierN: l.Outliers,
+		Relearns: l.Relearns, Degrades: l.Degrades,
+		ObsCycles: l.obsCycles, ObsInsts: l.obsInsts,
+	}
+	if len(l.wdRing) > 0 {
+		ls.WDRing = append([]bool(nil), l.wdRing...)
+	}
+	if len(l.outliers) > 0 {
+		ls.Outliers = make([]OutlierState, 0, len(l.outliers))
+		for _, o := range l.outliers {
+			os := OutlierState{ID: o.id, Centroid: o.centroid, N: o.n}
+			if len(o.epos) > 0 {
+				os.EPOs = append([]float64(nil), o.epos...)
+			}
+			ls.Outliers = append(ls.Outliers, os)
+		}
+	}
+	if len(l.Table.Clusters) > 0 {
+		ls.Clusters = make([]ClusterState, 0, len(l.Table.Clusters))
+		for _, c := range l.Table.Clusters {
+			ls.Clusters = append(ls.Clusters, ClusterState{
+				Centroid: c.Centroid, MixCentroid: c.MixCentroid, N: c.N,
+				Perf: c.Perf.export(),
+			})
+		}
+	}
+	return ls
+}
+
+// Import rebuilds the accelerator from an exported state. The receiver must
+// be freshly constructed (no learners yet); st is validated in full before
+// anything is applied, so a rejected import leaves the accelerator unchanged
+// and ready for a cold start. Every validation failure wraps ErrBadState.
+//
+// The round trip is exact: NewAccelerator(p).Import(st) followed by Export
+// reproduces st, and the imported learners predict from byte-identical
+// tables — the warm-start invariant.
+func (a *Accelerator) Import(st *AccelState) error {
+	if len(a.learners) > 0 {
+		return fmt.Errorf("%w: import into a non-empty accelerator", ErrBadState)
+	}
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	a.params = st.Params
+	a.deferred = st.Deferred
+	for i := range st.Learners {
+		l := st.Learners[i].restore(st.Params)
+		l.trc = a.trc
+		a.learners[l.Svc] = l
+		a.order = append(a.order, l.Svc)
+	}
+	return nil
+}
+
+func (ls *LearnerState) restore(p Params) *Learner {
+	l := &Learner{
+		Svc: ls.Service, params: p,
+		phase:     phase(ls.Phase),
+		seen:      ls.Seen,
+		warmLeft:  ls.WarmLeft,
+		learnLeft: ls.LearnLeft,
+		ring:      append([]int16(nil), ls.Ring...),
+		ringPos:   ls.RingPos,
+		nextOutID: ls.NextOutID,
+		wdPos:     ls.WDPos,
+		wdLen:     ls.WDLen,
+		wdOut:     ls.WDOut,
+		holdLeft:  ls.HoldLeft,
+		rearmSeen: ls.RearmSeen, rearmMatched: ls.RearmMatched,
+		Learned: ls.Learned, Predicted: ls.Predicted, Outliers: ls.OutlierN,
+		Relearns: ls.Relearns, Degrades: ls.Degrades,
+		obsCycles: ls.ObsCycles, obsInsts: ls.ObsInsts,
+	}
+	if len(ls.WDRing) > 0 {
+		l.wdRing = append([]bool(nil), ls.WDRing...)
+	}
+	for _, os := range ls.Outliers {
+		o := &outlierEntry{id: os.ID, centroid: os.Centroid, n: os.N}
+		if len(os.EPOs) > 0 {
+			o.epos = append([]float64(nil), os.EPOs...)
+		}
+		l.outliers = append(l.outliers, o)
+	}
+	for _, cs := range ls.Clusters {
+		l.Table.Clusters = append(l.Table.Clusters, &Cluster{
+			Centroid: cs.Centroid, MixCentroid: cs.MixCentroid, N: cs.N,
+			Perf: cs.Perf.restore(),
+		})
+	}
+	return l
+}
+
+// Validate checks the state in full: parameter sanity, phase ranges, ring
+// consistency with the parameters, finite non-negative centroids, positive
+// member counts, bounded cluster and outlier populations, and well-formed
+// moments. Every failure wraps ErrBadState and names the offending learner.
+func (st *AccelState) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadState, fmt.Sprintf(format, args...))
+	}
+	if st == nil {
+		return bad("nil state")
+	}
+	p := st.Params
+	if p.MovingWindow <= 0 || p.MovingWindow > maxSnapshotRing {
+		return bad("moving window %d out of range", p.MovingWindow)
+	}
+	if !finite(p.PMin) || !finite(p.DoC) || !finite(p.RangeFrac) ||
+		!finite(p.FixedRange) || !finite(p.WatchdogThreshold) {
+		return bad("non-finite parameter")
+	}
+	if p.Strategy < BestMatch || p.Strategy > Statistical {
+		return bad("unknown strategy %d", p.Strategy)
+	}
+	if len(st.Learners) > maxSnapshotLearners {
+		return bad("%d learners exceeds limit %d", len(st.Learners), maxSnapshotLearners)
+	}
+	seen := make(map[isa.ServiceID]bool, len(st.Learners))
+	for i := range st.Learners {
+		ls := &st.Learners[i]
+		if seen[ls.Service] {
+			return bad("learner %d: duplicate service %v", i, ls.Service)
+		}
+		seen[ls.Service] = true
+		if err := ls.validate(p); err != nil {
+			return fmt.Errorf("%w (learner %d, service %v)", err, i, ls.Service)
+		}
+	}
+	return nil
+}
+
+func (ls *LearnerState) validate(p Params) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadState, fmt.Sprintf(format, args...))
+	}
+	if ls.Phase < int(phaseWarmup) || ls.Phase > int(phaseDegraded) {
+		return bad("phase %d out of range", ls.Phase)
+	}
+	if ls.Seen < 0 || ls.Learned < 0 || ls.Predicted < 0 || ls.OutlierN < 0 ||
+		ls.Relearns < 0 || ls.Degrades < 0 {
+		return bad("negative counter")
+	}
+	if !finite(ls.ObsCycles) || ls.ObsCycles < 0 || !finite(ls.ObsInsts) || ls.ObsInsts < 0 {
+		return bad("invalid observed cycle/instruction totals (%g, %g)", ls.ObsCycles, ls.ObsInsts)
+	}
+	if len(ls.Ring) != p.MovingWindow {
+		return bad("ring length %d != moving window %d", len(ls.Ring), p.MovingWindow)
+	}
+	if ls.RingPos < 0 || ls.RingPos >= len(ls.Ring) {
+		return bad("ring position %d out of range", ls.RingPos)
+	}
+	for _, id := range ls.Ring {
+		if id < -1 || int(id) > maxOutlierID {
+			return bad("ring outlier id %d out of range", id)
+		}
+	}
+	if ls.NextOutID < 1 || ls.NextOutID > maxOutlierID+1 {
+		return bad("next outlier id %d out of range", ls.NextOutID)
+	}
+	if len(ls.WDRing) > maxSnapshotRing {
+		return bad("watchdog ring length %d exceeds limit", len(ls.WDRing))
+	}
+	if len(ls.WDRing) == 0 {
+		if ls.WDPos != 0 || ls.WDLen != 0 || ls.WDOut != 0 {
+			return bad("watchdog bookkeeping without a ring")
+		}
+	} else {
+		if ls.WDPos < 0 || ls.WDPos >= len(ls.WDRing) {
+			return bad("watchdog position %d out of range", ls.WDPos)
+		}
+		if ls.WDLen < 0 || ls.WDLen > len(ls.WDRing) {
+			return bad("watchdog fill %d out of range", ls.WDLen)
+		}
+		out := 0
+		for _, v := range ls.WDRing {
+			if v {
+				out++
+			}
+		}
+		if ls.WDOut != out {
+			return bad("watchdog outlier count %d inconsistent with ring (%d set)", ls.WDOut, out)
+		}
+	}
+	if ls.HoldLeft < 0 || ls.RearmSeen < 0 || ls.RearmMatched < 0 || ls.RearmMatched > ls.RearmSeen {
+		return bad("invalid re-arm bookkeeping")
+	}
+	if len(ls.Outliers) > maxSnapshotOutliers {
+		return bad("%d outlier entries exceeds limit %d", len(ls.Outliers), maxSnapshotOutliers)
+	}
+	for j, o := range ls.Outliers {
+		if o.ID < 1 || o.ID > maxOutlierID {
+			return bad("outlier %d: id %d out of range", j, o.ID)
+		}
+		if !finite(o.Centroid) || o.Centroid < 0 {
+			return bad("outlier %d: invalid centroid %g", j, o.Centroid)
+		}
+		if o.N < 1 {
+			return bad("outlier %d: member count %d < 1", j, o.N)
+		}
+		if len(o.EPOs) > maxSnapshotEPOs {
+			return bad("outlier %d: %d probability estimates exceeds limit", j, len(o.EPOs))
+		}
+		for _, e := range o.EPOs {
+			if !finite(e) || e < 0 || e > 1 {
+				return bad("outlier %d: probability estimate %g outside [0,1]", j, e)
+			}
+		}
+	}
+	if len(ls.Clusters) > maxSnapshotClusters {
+		return bad("%d clusters exceeds limit %d", len(ls.Clusters), maxSnapshotClusters)
+	}
+	for j, c := range ls.Clusters {
+		if !finite(c.Centroid) || c.Centroid < 0 {
+			return bad("cluster %d: invalid centroid %g", j, c.Centroid)
+		}
+		for _, m := range c.MixCentroid {
+			if !finite(m) || m < 0 {
+				return bad("cluster %d: invalid mix centroid %g", j, m)
+			}
+		}
+		if c.N < 1 {
+			return bad("cluster %d: member count %d < 1", j, c.N)
+		}
+		for k, m := range c.Perf.moments() {
+			if m.N < 0 || m.N > c.N {
+				return bad("cluster %d: moment %d count %d outside [0,%d]", j, k, m.N, c.N)
+			}
+			if !finite(m.Mean) || !finite(m.M2) || m.M2 < 0 {
+				return bad("cluster %d: moment %d not finite or negative M2 (mean %g, M2 %g)",
+					j, k, m.Mean, m.M2)
+			}
+		}
+	}
+	return nil
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"fssim/internal/isa"
+)
+
+// buildRichAccelerator drives an accelerator through a deterministic mixed
+// workload so its exported state exercises every snapshot field: multiple
+// services, warm-up/learning/predicting phases, outlier entries with
+// probability estimates, a populated watchdog ring, and non-trivial
+// counters.
+func buildRichAccelerator() *Accelerator {
+	p := DefaultParams()
+	p.LearnWindow = 15
+	p.WarmupSkip = 2
+	p.WatchdogThreshold = 0.6
+	p.WatchdogWindow = 8
+	a := NewAccelerator(p)
+	svcs := []isa.ServiceID{isa.Sys(isa.SysRead), isa.Sys(isa.SysWrite), isa.Sys(isa.SysOpen)}
+	bases := []uint64{1000, 4000, 250}
+	for step := 0; step < 600; step++ {
+		i := step % len(svcs)
+		insts := bases[i] + uint64(step%7) // small jitter inside cluster range
+		if step%23 == 0 {
+			insts = bases[i]*3 + uint64(step) // occasional outliers
+		}
+		feed(a, svcs[i], insts)
+	}
+	return a
+}
+
+// feed pushes one service instance through the accelerator's sink interface,
+// running it detailed or predicted as the learner decides.
+func feed(a *Accelerator, svc isa.ServiceID, insts uint64) {
+	detailed, _ := a.OnServiceStart(svc)
+	if detailed {
+		a.OnServiceEnd(svc, sig(insts), feedMeas(insts, insts*5))
+	} else {
+		a.OnServiceEnd(svc, sig(insts), nil)
+	}
+}
+
+// TestSnapshotRoundTrip is the snapshot layer's core contract:
+// Export -> Import -> Export reproduces the state exactly, field for field.
+func TestSnapshotRoundTrip(t *testing.T) {
+	a := buildRichAccelerator()
+	st := a.Export()
+	if len(st.Learners) != 3 {
+		t.Fatalf("exported %d learners, want 3", len(st.Learners))
+	}
+
+	b := NewAccelerator(st.Params)
+	if err := b.Import(st); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	st2 := b.Export()
+	if !reflect.DeepEqual(st, st2) {
+		t.Errorf("re-exported state differs from original:\n got %+v\nwant %+v", st2, st)
+	}
+	if got, want := b.Summary(), a.Summary(); got != want {
+		t.Errorf("imported summary %+v, original %+v", got, want)
+	}
+}
+
+// TestSnapshotPredictionParity is the warm-start invariant: an imported
+// accelerator must make the same detailed/predicted decisions and return the
+// same predictions as the original, instance for instance — its predictions
+// come from the same clusters a continuous run would have used.
+func TestSnapshotPredictionParity(t *testing.T) {
+	a := buildRichAccelerator()
+	b := NewAccelerator(a.Params())
+	if err := b.Import(a.Export()); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	svcs := []isa.ServiceID{isa.Sys(isa.SysRead), isa.Sys(isa.SysWrite), isa.Sys(isa.SysOpen)}
+	bases := []uint64{1000, 4000, 250}
+	for step := 0; step < 300; step++ {
+		i := step % len(svcs)
+		insts := bases[i] + uint64(step%9)
+		if step%31 == 0 {
+			insts *= 4
+		}
+		svc := svcs[i]
+		da, cpiA := a.OnServiceStart(svc)
+		db, cpiB := b.OnServiceStart(svc)
+		if da != db || cpiA != cpiB {
+			t.Fatalf("step %d: decision diverged: original (%v, %g), imported (%v, %g)",
+				step, da, cpiA, db, cpiB)
+		}
+		s := sig(insts)
+		if da {
+			m := feedMeas(insts, insts*5)
+			a.OnServiceEnd(svc, s, m)
+			b.OnServiceEnd(svc, s, feedMeas(insts, insts*5))
+			continue
+		}
+		pa := a.OnServiceEnd(svc, s, nil)
+		pb := b.OnServiceEnd(svc, s, nil)
+		if (pa == nil) != (pb == nil) || (pa != nil && *pa != *pb) {
+			t.Fatalf("step %d: prediction diverged: original %+v, imported %+v", step, pa, pb)
+		}
+	}
+	if got, want := b.Summary(), a.Summary(); got != want {
+		t.Errorf("summaries diverged after parallel driving: imported %+v, original %+v", got, want)
+	}
+}
+
+// TestSnapshotExportIsDeepCopy asserts continued simulation cannot mutate an
+// already-taken snapshot.
+func TestSnapshotExportIsDeepCopy(t *testing.T) {
+	a := buildRichAccelerator()
+	st := a.Export()
+	ref := a.Export()
+	for step := 0; step < 200; step++ {
+		feed(a, isa.Sys(isa.SysRead), 1000+uint64(step%50)*40)
+	}
+	if !reflect.DeepEqual(st, ref) {
+		t.Error("snapshot mutated by continued simulation: Export did not deep-copy")
+	}
+}
+
+// TestImportValidation rejects every class of corrupt state with ErrBadState,
+// leaving the accelerator importable afterwards — corrupt snapshots degrade
+// to cold starts, never to poisoned predictions.
+func TestImportValidation(t *testing.T) {
+	pristine := buildRichAccelerator().Export()
+	mutations := map[string]func(st *AccelState){
+		"nan centroid":         func(st *AccelState) { st.Learners[0].Clusters[0].Centroid = math.NaN() },
+		"negative centroid":    func(st *AccelState) { st.Learners[0].Clusters[0].Centroid = -5 },
+		"inf mix centroid":     func(st *AccelState) { st.Learners[0].Clusters[0].MixCentroid[1] = math.Inf(1) },
+		"zero cluster members": func(st *AccelState) { st.Learners[0].Clusters[0].N = 0 },
+		"negative M2":          func(st *AccelState) { st.Learners[0].Clusters[0].Perf.Cycles.M2 = -1 },
+		"moment count over N":  func(st *AccelState) { st.Learners[0].Clusters[0].Perf.IPC.N = 1 << 40 },
+		"cluster count over limit": func(st *AccelState) {
+			st.Learners[0].Clusters = make([]ClusterState, maxSnapshotClusters+1)
+			for i := range st.Learners[0].Clusters {
+				st.Learners[0].Clusters[i] = ClusterState{Centroid: 1, N: 1}
+			}
+		},
+		"phase out of range":      func(st *AccelState) { st.Learners[0].Phase = 7 },
+		"ring length mismatch":    func(st *AccelState) { st.Learners[0].Ring = st.Learners[0].Ring[:3] },
+		"ring position overflow":  func(st *AccelState) { st.Learners[0].RingPos = len(st.Learners[0].Ring) },
+		"outlier id zero":         func(st *AccelState) { st.Learners[0].NextOutID = 0 },
+		"negative counter":        func(st *AccelState) { st.Learners[0].Predicted = -1 },
+		"nan observed cycles":     func(st *AccelState) { st.Learners[0].ObsCycles = math.NaN() },
+		"watchdog pos overflow":   func(st *AccelState) { st.Learners[0].WDPos = len(st.Learners[0].WDRing) },
+		"watchdog count mismatch": func(st *AccelState) { st.Learners[0].WDOut = st.Learners[0].WDOut + 1 },
+		"duplicate service":       func(st *AccelState) { st.Learners[1].Service = st.Learners[0].Service },
+		"bad moving window":       func(st *AccelState) { st.Params.MovingWindow = -1 },
+		"bad strategy":            func(st *AccelState) { st.Params.Strategy = Strategy(9) },
+		"epo outside unit range": func(st *AccelState) {
+			for i := range st.Learners {
+				if len(st.Learners[i].Outliers) > 0 {
+					st.Learners[i].Outliers[0].EPOs = []float64{1.5}
+					return
+				}
+			}
+			panic("rich state has no outliers to corrupt")
+		},
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			// Deep-copy via a round trip so mutations never touch pristine.
+			tmp := NewAccelerator(pristine.Params)
+			if err := tmp.Import(pristine); err != nil {
+				t.Fatalf("pristine state failed to import: %v", err)
+			}
+			st := tmp.Export()
+			mutate(st)
+			b := NewAccelerator(pristine.Params)
+			err := b.Import(st)
+			if err == nil {
+				t.Fatal("corrupt state imported without error")
+			}
+			if !errors.Is(err, ErrBadState) {
+				t.Fatalf("error %v does not wrap ErrBadState", err)
+			}
+			// The rejected accelerator is still clean: a cold start (or a
+			// later valid import) proceeds normally.
+			if err := b.Import(pristine); err != nil {
+				t.Fatalf("accelerator unusable after rejected import: %v", err)
+			}
+		})
+	}
+}
+
+// TestImportRequiresEmptyAccelerator pins the receiver contract.
+func TestImportRequiresEmptyAccelerator(t *testing.T) {
+	a := buildRichAccelerator()
+	if err := a.Import(a.Export()); err == nil || !errors.Is(err, ErrBadState) {
+		t.Errorf("import into a used accelerator = %v, want ErrBadState", err)
+	}
+}
+
+// TestImportNilState rejects a nil state instead of panicking.
+func TestImportNilState(t *testing.T) {
+	a := NewAccelerator(DefaultParams())
+	if err := a.Import(nil); err == nil || !errors.Is(err, ErrBadState) {
+		t.Errorf("import(nil) = %v, want ErrBadState", err)
+	}
+}

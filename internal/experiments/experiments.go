@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -58,6 +59,14 @@ type Config struct {
 	// metrics through Scheduler.WriteChromeTrace / WriteJSONLTrace /
 	// WriteRunMetrics.
 	Trace bool
+	// WarmDir, when set, roots a pltstore warm-start store there: every
+	// successful accelerated run's learned PLT state is snapshotted to disk,
+	// and an identical later run (same configuration, exact replay hash) is
+	// reconstructed from its snapshot without simulating. Stale, mismatched
+	// or corrupt snapshots degrade to cold starts with counted metrics
+	// (SchedStats.Warm*), never to wrong predictions. Empty disables
+	// persistence entirely; results are byte-identical either way.
+	WarmDir string
 
 	ctx   context.Context // suite-wide cancellation (WithContext)
 	sched *Scheduler      // shared memo cache + worker pool (set by Run/RunAll)
@@ -115,6 +124,11 @@ func (c Config) validate() error {
 	if c.FaultPlan != "" {
 		if _, err := faults.Named(c.FaultPlan); err != nil {
 			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	if c.WarmDir != "" {
+		if fi, err := os.Stat(c.WarmDir); err == nil && !fi.IsDir() {
+			return fmt.Errorf("experiments: warm dir %s exists and is not a directory", c.WarmDir)
 		}
 	}
 	return nil
@@ -202,6 +216,8 @@ func init() {
 		"tab2":  {"Estimated simulation speedups (Eq 10)", Table2, tab2Needs},
 		"faults": {"Re-learning strategies and the divergence watchdog under injected faults",
 			FaultsExp, faultsExpNeeds},
+		"warmstart": {"Warm-started PLTs: prediction parity, coverage and work saved vs cold learning",
+			WarmstartExp, warmstartNeeds},
 	}
 }
 
@@ -211,7 +227,15 @@ func IDs() []string {
 	for id := range registry {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return orderKey(ids[i]) < orderKey(ids[j]) })
+	sort.Slice(ids, func(i, j int) bool {
+		oi, oj := orderKey(ids[i]), orderKey(ids[j])
+		if oi != oj {
+			return oi < oj
+		}
+		// Extensions share an order bucket; break ties lexically so the
+		// listing stays deterministic (sort.Slice is not stable).
+		return ids[i] < ids[j]
+	})
 	return ids
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"os"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"fssim/internal/core"
 	"fssim/internal/faults"
 	"fssim/internal/machine"
+	"fssim/internal/pltstore"
 	"fssim/internal/trace"
 	"fssim/internal/workload"
 )
@@ -137,6 +139,16 @@ type SchedStats struct {
 	Failures int64         // runs that exhausted their attempts and failed
 	Retries  int64         // extra attempts after a failed first try
 	SimWall  time.Duration // summed wall-clock of executed simulations
+
+	// Warm-start counters (all zero unless Config.WarmDir is set).
+	WarmHits    int64 // runs replayed from an on-disk PLT snapshot without simulating
+	WarmMisses  int64 // eligible runs with no snapshot for their configuration
+	WarmInvalid int64 // snapshots rejected (corrupt, stale hash, or mismatched identity)
+	WarmSaves   int64 // snapshots written (per-run saves plus FlushWarm sweeps)
+	// PLTLearned sums the learned-instance counters of accelerated runs this
+	// process actually simulated; replayed runs contribute nothing, so a
+	// fully warm process reports ~0.
+	PLTLearned int64
 }
 
 // RunError describes one simulation's final failure: which run, how many
@@ -171,7 +183,8 @@ func (e *RunError) Unwrap() error { return e.Cause }
 // block on the same entry. A Scheduler is safe for concurrent use.
 type Scheduler struct {
 	cfg   Config
-	slots chan struct{} // worker-pool semaphore; cap = parallelism
+	slots chan struct{}   // worker-pool semaphore; cap = parallelism
+	warm  *pltstore.Store // nil unless Config.WarmDir is set
 
 	mu      sync.Mutex
 	runs    map[RunKey]*runEntry
@@ -185,17 +198,27 @@ type Scheduler struct {
 	failures atomic.Int64
 	retries  atomic.Int64
 	simWall  atomic.Int64 // nanoseconds
+
+	warmHits    atomic.Int64
+	warmMisses  atomic.Int64
+	warmInvalid atomic.Int64
+	warmSaves   atomic.Int64
+	pltLearned  atomic.Int64
 }
 
 // NewScheduler builds a scheduler for cfg; cfg is normalized first, so a
 // zero Parallelism becomes GOMAXPROCS and a zero Scale the default 1.0.
 func NewScheduler(cfg Config) *Scheduler {
 	cfg = cfg.normalized()
-	return &Scheduler{
+	s := &Scheduler{
 		cfg:   cfg,
 		slots: make(chan struct{}, cfg.Parallelism),
 		runs:  make(map[RunKey]*runEntry),
 	}
+	if cfg.WarmDir != "" {
+		s.warm = pltstore.Open(cfg.WarmDir)
+	}
+	return s
 }
 
 // Parallelism returns the worker-pool width.
@@ -207,12 +230,17 @@ func (s *Scheduler) Stats() SchedStats {
 	n := len(s.runs)
 	s.mu.Unlock()
 	return SchedStats{
-		Distinct: n,
-		Hits:     s.hits.Load(),
-		Misses:   s.misses.Load(),
-		Failures: s.failures.Load(),
-		Retries:  s.retries.Load(),
-		SimWall:  time.Duration(s.simWall.Load()),
+		Distinct:    n,
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Failures:    s.failures.Load(),
+		Retries:     s.retries.Load(),
+		SimWall:     time.Duration(s.simWall.Load()),
+		WarmHits:    s.warmHits.Load(),
+		WarmMisses:  s.warmMisses.Load(),
+		WarmInvalid: s.warmInvalid.Load(),
+		WarmSaves:   s.warmSaves.Load(),
+		PLTLearned:  s.pltLearned.Load(),
 	}
 }
 
@@ -443,7 +471,17 @@ func (s *Scheduler) finish(key RunKey, e *runEntry, st *expStats) {
 // execute runs the simulation a key describes, retrying failed attempts (up
 // to cfg.Retries extra tries) with fresh derived seeds. Context cancellation
 // is terminal: a canceled suite does not burn retries.
+//
+// When a warm store is configured, an eligible run first consults it: an
+// exact-identity snapshot (same ReplayHash) replays the recorded result
+// without simulating at all — simulations are deterministic, so the replayed
+// result is byte-identical to what re-running would produce. Any other
+// outcome (no snapshot, stale hash, corrupt file) is counted and falls
+// through to a normal cold simulation, whose result is saved back.
 func (s *Scheduler) execute(ctx context.Context, key RunKey) (runOutput, error) {
+	if out, ok := s.warmReplay(key); ok {
+		return out, nil
+	}
 	var lastErr error
 	var lastOut runOutput
 	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
@@ -452,6 +490,10 @@ func (s *Scheduler) execute(ctx context.Context, key RunKey) (runOutput, error) 
 		}
 		out, err := s.executeOnce(ctx, key, attempt)
 		if err == nil {
+			if out.acc != nil {
+				s.pltLearned.Add(out.acc.Summary().Learned)
+			}
+			s.warmSave(key, out)
 			return out, nil
 		}
 		// Keep the failed attempt's partial output: its recorder holds the
@@ -489,11 +531,8 @@ func (s *Scheduler) executeOnce(ctx context.Context, key RunKey, attempt int) (o
 	}()
 	opts := workload.DefaultOptions()
 	opts.Scale = key.Scale
-	opts.Machine.Mode = key.Mode
+	opts.Machine = machineConfigFor(key)
 	opts.Machine.Seed = key.AttemptSeed(attempt)
-	if key.L2 > 0 {
-		opts.Machine.Mem = opts.Machine.Mem.WithL2Size(key.L2)
-	}
 	if key.Faults != "" {
 		spec, ferr := faults.Named(key.Faults)
 		if ferr != nil {
@@ -522,18 +561,184 @@ func (s *Scheduler) executeOnce(ctx context.Context, key RunKey, attempt int) (o
 		out.prof = core.NewProfiler()
 		opts.Observer = out.prof.Observer()
 	case machine.Accelerated:
-		params := core.DefaultParams()
-		params.Strategy = key.accelStrategy()
-		if key.OptsHash&watchdogOpt != 0 {
-			params.WatchdogThreshold = core.DefaultWatchdogThreshold
-			params.WatchdogWindow = core.DefaultWatchdogWindow
-		}
-		out.acc = core.NewAccelerator(params)
+		out.acc = core.NewAccelerator(accelParamsFor(key))
 		opts.Sink = out.acc
 	}
 	res, err := workload.Run(key.Bench, opts)
 	out.res = res
 	return out, err
+}
+
+// machineConfigFor is the machine configuration a run of key uses (with the
+// first attempt's derived seed). It is shared by executeOnce and the warm
+// store's LearnHash so the snapshot address always reflects the exact
+// configuration that would be simulated.
+func machineConfigFor(key RunKey) machine.Config {
+	mcfg := workload.DefaultOptions().Machine
+	mcfg.Mode = key.Mode
+	mcfg.Seed = key.DeriveSeed()
+	if key.L2 > 0 {
+		mcfg.Mem = mcfg.Mem.WithL2Size(key.L2)
+	}
+	return mcfg
+}
+
+// accelParamsFor is the acceleration parameter set an Accelerated key encodes.
+func accelParamsFor(key RunKey) core.Params {
+	params := core.DefaultParams()
+	params.Strategy = key.accelStrategy()
+	if key.OptsHash&watchdogOpt != 0 {
+		params.WatchdogThreshold = core.DefaultWatchdogThreshold
+		params.WatchdogWindow = core.DefaultWatchdogWindow
+	}
+	return params
+}
+
+// --- warm-start store -------------------------------------------------------
+
+// warmEligible: only Accelerated runs carry learned state worth persisting.
+func (s *Scheduler) warmEligible(key RunKey) bool {
+	return s.warm != nil && key.Mode == machine.Accelerated
+}
+
+// warmLearnHash is the snapshot address of key's configuration.
+func warmLearnHash(key RunKey) uint64 {
+	return pltstore.LearnHash(key.Bench, machineConfigFor(key), accelParamsFor(key),
+		key.Scale, key.Faults)
+}
+
+// warmReplay consults the warm store for an exact-identity snapshot of key.
+// On a hit it reconstructs the run's output — recorded machine statistics
+// plus an accelerator imported from the persisted learner state — without
+// executing anything. Every non-hit is counted (miss or invalid) and returns
+// ok=false: a stale or corrupt snapshot degrades to a cold start, never to a
+// wrong result. Replayed runs carry no trace recorder (nothing executed to
+// trace).
+func (s *Scheduler) warmReplay(key RunKey) (runOutput, bool) {
+	if !s.warmEligible(key) {
+		return runOutput{}, false
+	}
+	learn := warmLearnHash(key)
+	snap, err := s.warm.Load(key.Bench, learn)
+	if err != nil {
+		if errors.Is(err, pltstore.ErrNotFound) {
+			s.warmMisses.Add(1)
+		} else {
+			s.warmInvalid.Add(1)
+		}
+		return runOutput{}, false
+	}
+	if snap.ReplayHash != pltstore.ReplayHash(learn, key.String(), key.DeriveSeed()) {
+		// Compatible learned state, but not this exact run (different base
+		// seed, for example): exact replay would be wrong, so simulate cold.
+		s.warmInvalid.Add(1)
+		return runOutput{}, false
+	}
+	acc := core.NewAccelerator(snap.State.Params)
+	if err := acc.Import(snap.State); err != nil {
+		s.warmInvalid.Add(1)
+		return runOutput{}, false
+	}
+	s.warmHits.Add(1)
+	return runOutput{res: workload.Result{Stats: snap.Stats}, acc: acc}, true
+}
+
+// warmSave persists one successful run's snapshot, best-effort: a failed
+// write never fails the run that produced the result.
+func (s *Scheduler) warmSave(key RunKey, out runOutput) {
+	if !s.warmEligible(key) || out.acc == nil {
+		return
+	}
+	learn := warmLearnHash(key)
+	snap := &pltstore.Snapshot{
+		LearnHash:  learn,
+		ReplayHash: pltstore.ReplayHash(learn, key.String(), key.DeriveSeed()),
+		Benchmark:  key.Bench,
+		Key:        key.String(),
+		Stats:      out.res.Stats,
+		State:      out.acc.Export(),
+	}
+	if s.warm.Save(snap) == nil {
+		s.warmSaves.Add(1)
+	}
+}
+
+// FlushWarm sweeps every completed successful accelerated run into the warm
+// store — the authoritative drain-time save (server.WriteArtifacts calls it),
+// catching any run whose best-effort per-run save failed. It waits for
+// in-flight runs to finish. A scheduler without a warm store is a no-op.
+// The returned count is how many snapshots were written by this sweep.
+func (s *Scheduler) FlushWarm() (int, error) {
+	if s.warm == nil {
+		return 0, nil
+	}
+	s.mu.Lock()
+	entries := make(map[RunKey]*runEntry, len(s.runs))
+	for k, e := range s.runs {
+		entries[k] = e
+	}
+	s.mu.Unlock()
+	saved := 0
+	var errs []error
+	for key, e := range entries {
+		if !s.warmEligible(key) {
+			continue
+		}
+		<-e.done
+		if e.err != nil || e.out.acc == nil {
+			continue
+		}
+		learn := warmLearnHash(key)
+		snap := &pltstore.Snapshot{
+			LearnHash:  learn,
+			ReplayHash: pltstore.ReplayHash(learn, key.String(), key.DeriveSeed()),
+			Benchmark:  key.Bench,
+			Key:        key.String(),
+			Stats:      e.out.res.Stats,
+			State:      e.out.acc.Export(),
+		}
+		if err := s.warm.Save(snap); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		s.warmSaves.Add(1)
+		saved++
+	}
+	return saved, errors.Join(errs...)
+}
+
+// WarmDir returns the warm store's directory ("" when no store is configured).
+func (s *Scheduler) WarmDir() string {
+	if s.warm == nil {
+		return ""
+	}
+	return s.warm.Dir()
+}
+
+// WarmSnapshotPath returns the newest on-disk snapshot for bench, for
+// serving front-ends that export learned state (GET /v1/plt/{benchmark}).
+// ok is false when no store is configured or no snapshot exists.
+func (s *Scheduler) WarmSnapshotPath(bench string) (string, bool) {
+	if s.warm == nil {
+		return "", false
+	}
+	paths, err := s.warm.List(bench)
+	if err != nil || len(paths) == 0 {
+		return "", false
+	}
+	// List sorts by name; pick the newest by modification time so the most
+	// recently refreshed configuration wins when several coexist.
+	best, bestAt := "", time.Time{}
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		if best == "" || fi.ModTime().After(bestAt) {
+			best, bestAt = p, fi.ModTime()
+		}
+	}
+	return best, best != ""
 }
 
 // modeCosts returns the Table 1 host-cost measurement, pinned from the

@@ -136,5 +136,16 @@ func (s *Scheduler) WriteHarnessMetrics(w io.Writer) error {
 			"sched.sim_wall_seconds %.3f\nsched.parallelism %d\n",
 		st.Distinct, st.Hits, st.Misses, hitRate, st.Failures, st.Retries,
 		st.SimWall.Seconds(), s.Parallelism())
+	if err != nil || s.warm == nil {
+		return err
+	}
+	// Warm-start counters appear only when a store is configured, so existing
+	// metrics consumers see an unchanged document otherwise. plt.learned is
+	// the learning performed by runs this process simulated: a fully
+	// warm-started process reports 0.
+	_, err = fmt.Fprintf(w,
+		"plt.warm_hits %d\nplt.warm_misses %d\nplt.warm_invalid %d\n"+
+			"plt.warm_saves %d\nplt.learned %d\n",
+		st.WarmHits, st.WarmMisses, st.WarmInvalid, st.WarmSaves, st.PLTLearned)
 	return err
 }

@@ -1,0 +1,172 @@
+package pltstore
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"fssim/internal/core"
+	"fssim/internal/isa"
+	"fssim/internal/machine"
+	"fssim/internal/stats"
+)
+
+// FuzzPLTSnapshotRoundTrip checks the codec's two safety properties at once:
+//
+//  1. Arbitrary bytes never panic the decoder — they either decode or fail
+//     with a typed *FormatError; on success, re-encoding reproduces the
+//     input bytes exactly (the format has one canonical encoding).
+//  2. Arbitrary snapshot *states* — derived from the fuzz input via a
+//     deterministic PRNG, including NaN/Inf floats and extreme counters the
+//     semantic validator would reject — survive Encode -> Decode -> Encode
+//     byte-identically. The codec is bit-exact below the validation layer.
+func FuzzPLTSnapshotRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("FSSIMPLT garbage that is not a real snapshot"))
+	f.Add(Encode(richSnapshot()))
+	trunc := Encode(richSnapshot())
+	f.Add(trunc[:len(trunc)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Property 1: decoding arbitrary bytes is total and typed.
+		snap, err := Decode(data)
+		if err != nil {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("decode error %v is not a *FormatError", err)
+			}
+			if snap != nil {
+				t.Fatal("decode returned a snapshot alongside an error")
+			}
+		} else {
+			again := Encode(snap)
+			if !bytes.Equal(again, data) {
+				t.Fatalf("decoded input re-encodes to different bytes (%d vs %d)", len(again), len(data))
+			}
+		}
+
+		// Property 2: a generated state round-trips bit-exactly.
+		gen := fuzzSnapshot(data)
+		first := Encode(gen)
+		decoded, err := Decode(first)
+		if err != nil {
+			t.Fatalf("generated snapshot failed to decode: %v", err)
+		}
+		if second := Encode(decoded); !bytes.Equal(first, second) {
+			t.Fatalf("generated snapshot round trip not byte-identical (%d vs %d)", len(first), len(second))
+		}
+	})
+}
+
+// fuzzRand is a tiny deterministic PRNG (splitmix64) seeded from fuzz input,
+// so generated states are reproducible from the corpus entry alone.
+type fuzzRand struct{ s uint64 }
+
+func (r *fuzzRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *fuzzRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// f64 returns an arbitrary bit pattern as a float — NaNs, infinities, and
+// denormals included. The codec must carry all of them.
+func (r *fuzzRand) f64() float64 { return math.Float64frombits(r.next()) }
+
+// fuzzSnapshot builds a structurally encodable (not necessarily semantically
+// valid) snapshot from the input bytes. Integer fields that the decoder
+// range-checks stay within int32; everything else is unconstrained.
+func fuzzSnapshot(data []byte) *Snapshot {
+	r := &fuzzRand{s: 0x5eed}
+	for _, b := range data {
+		r.s = r.s*131 + uint64(b)
+	}
+	str := func(maxLen int) string {
+		n := r.intn(maxLen + 1)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.next())
+		}
+		return string(b)
+	}
+	i32 := func() int { return int(int32(r.next())) }
+	snap := &Snapshot{
+		LearnHash:  r.next(),
+		ReplayHash: r.next(),
+		Benchmark:  str(24),
+		Key:        str(48),
+		State:      &core.AccelState{},
+	}
+	snap.Stats = machine.Stats{
+		Cycles: r.next(), Insts: r.next(), UserInsts: r.next(), OSInsts: r.next(),
+		Intervals: r.next(), Emulated: r.next(), EmuInsts: r.next(), PredCycles: r.next(),
+		Pred: machine.Prediction{
+			Cycles: r.next(), L1IMisses: r.next(), L1DMisses: r.next(), L2Misses: r.next(),
+			L1IAccesses: r.next(), L1DAccesses: r.next(), L2Accesses: r.next(), L2Writebacks: r.next(),
+		},
+		DRAM: r.next(), BrLookups: r.next(), BrMispreds: r.next(),
+	}
+	snap.Stats.Mem.L1I.Accesses = r.next()
+	snap.Stats.Mem.L1D.Misses = r.next()
+	snap.Stats.Mem.L2.Writebacks = r.next()
+	st := snap.State
+	st.Params = core.Params{
+		Strategy: core.Strategy(i32()), PMin: r.f64(), DoC: r.f64(), RangeFrac: r.f64(),
+		WarmupSkip: i32(), LearnWindow: i32(), DelayedThreshold: i32(), MinEPOs: i32(),
+		MovingWindow: i32(), FixedRange: r.f64(), MixSignature: r.intn(2) == 1,
+		WatchdogThreshold: r.f64(), WatchdogWindow: i32(),
+	}
+	st.Deferred = r.intn(2) == 1
+	for i, n := 0, r.intn(4); i < n; i++ {
+		l := core.LearnerState{
+			Service:   isa.ServiceID{Kind: isa.ServiceKind(r.next()), Num: uint16(r.next())},
+			Phase:     i32(),
+			Seen:      int64(r.next()),
+			WarmLeft:  i32(),
+			LearnLeft: i32(),
+			RingPos:   i32(),
+			NextOutID: i32(),
+			WDPos:     i32(), WDLen: i32(), WDOut: i32(),
+			HoldLeft: i32(), RearmSeen: i32(), RearmMatched: i32(),
+			Learned: int64(r.next()), Predicted: int64(r.next()), OutlierN: int64(r.next()),
+			Relearns: int64(r.next()), Degrades: int64(r.next()),
+			ObsCycles: r.f64(), ObsInsts: r.f64(),
+		}
+		if n := r.intn(6); n > 0 {
+			l.Ring = make([]int16, n)
+			for j := range l.Ring {
+				l.Ring[j] = int16(r.next())
+			}
+		}
+		if n := r.intn(4); n > 0 {
+			l.WDRing = make([]bool, n)
+			for j := range l.WDRing {
+				l.WDRing[j] = r.intn(2) == 1
+			}
+		}
+		for j, m := 0, r.intn(3); j < m; j++ {
+			o := core.OutlierState{ID: i32(), Centroid: r.f64(), N: int64(r.next())}
+			for k, e := 0, r.intn(3); k < e; k++ {
+				o.EPOs = append(o.EPOs, r.f64())
+			}
+			l.Outliers = append(l.Outliers, o)
+		}
+		for j, m := 0, r.intn(3); j < m; j++ {
+			c := core.ClusterState{
+				Centroid:    r.f64(),
+				MixCentroid: [3]float64{r.f64(), r.f64(), r.f64()},
+				N:           int64(r.next()),
+			}
+			c.Perf.Cycles = stats.Moments{N: int64(r.next()), Mean: r.f64(), M2: r.f64()}
+			c.Perf.IPC = stats.Moments{N: int64(r.next()), Mean: r.f64(), M2: r.f64()}
+			c.Perf.L2WB = stats.Moments{N: int64(r.next()), Mean: r.f64(), M2: r.f64()}
+			l.Clusters = append(l.Clusters, c)
+		}
+		st.Learners = append(st.Learners, l)
+	}
+	return snap
+}

@@ -1,0 +1,236 @@
+// Package pltstore persists learned Performance Lookup Tables across runs:
+// a versioned, self-describing on-disk store that snapshots an accelerated
+// run's complete learner state (clusters with full moments, phases, outlier
+// and watchdog bookkeeping) plus its deterministic machine statistics, and
+// warm-starts later runs from it so the learning window is paid once per
+// workload configuration instead of once per process.
+//
+// The store is config-addressed. Two FNV-1a hashes gate reuse:
+//
+//   - LearnHash fingerprints everything the learned state depends on —
+//     benchmark, machine configuration (seed excluded), acceleration
+//     parameters, workload scale, fault plan, and the format version. It is
+//     the filename discriminator and the compatibility gate: a snapshot only
+//     ever loads into the configuration that produced it. A mismatch is a
+//     cold start with a counted metric, never a wrong prediction.
+//   - ReplayHash additionally binds the exact run identity (the full RunKey
+//     string and the derived machine seed). When it matches, the snapshot's
+//     recorded machine.Stats are the byte-identical result of re-running the
+//     simulation, so the scheduler can reconstruct the outcome without
+//     simulating at all; when only LearnHash matches, callers may still
+//     warm-start the learners and simulate.
+//
+// Loading is strictly validated: the binary codec (codec.go) rejects
+// malformed bytes with a typed *FormatError, and the decoded learner state
+// passes core.AccelState.Validate before it can reach an accelerator.
+// Corrupt, truncated, or stale files therefore degrade to cold starts.
+package pltstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fssim/internal/core"
+	"fssim/internal/machine"
+)
+
+// FormatVersion is the snapshot format generation. It participates in
+// LearnHash, so a format change invalidates every existing snapshot rather
+// than misreading it.
+const FormatVersion = 1
+
+// ErrNotFound reports that no snapshot exists for the requested
+// (benchmark, learn-hash) address.
+var ErrNotFound = errors.New("pltstore: no snapshot for this configuration")
+
+// ErrMismatch reports that a snapshot file's self-described identity does
+// not match the address it was loaded under (a renamed or transplanted
+// file). Callers treat it like corruption: cold start.
+var ErrMismatch = errors.New("pltstore: snapshot does not match requested configuration")
+
+// Snapshot is one persisted run: identity hashes, the run's deterministic
+// aggregate statistics (for exact replay), and the full learner state (for
+// warm-starting).
+type Snapshot struct {
+	LearnHash  uint64
+	ReplayHash uint64
+	Benchmark  string
+	Key        string // the producing RunKey, for diagnostics
+	Stats      machine.Stats
+	State      *core.AccelState
+}
+
+// Validate checks the snapshot beyond codec well-formedness: a benchmark
+// name, a learner state that passes core's strict validation (finite
+// non-negative centroids, bounded cluster counts, consistent rings), and
+// non-degenerate statistics. Failures wrap core.ErrBadState or ErrMismatch
+// so callers can count them as invalidations.
+func (s *Snapshot) Validate() error {
+	if s.Benchmark == "" {
+		return fmt.Errorf("%w: empty benchmark", core.ErrBadState)
+	}
+	if s.State == nil {
+		return fmt.Errorf("%w: missing learner state", core.ErrBadState)
+	}
+	if err := s.State.Validate(); err != nil {
+		return err
+	}
+	if s.Stats.Insts == 0 || s.Stats.Cycles == 0 {
+		return fmt.Errorf("%w: degenerate run statistics", core.ErrBadState)
+	}
+	return nil
+}
+
+// LearnHash fingerprints the configuration a learned PLT depends on. The
+// machine seed is deliberately zeroed: learned behavior clusters transfer
+// across seeds of the same configuration (that is the point of
+// warm-starting), while exact result replay is separately gated by
+// ReplayHash, which does bind the seed.
+func LearnHash(bench string, mcfg machine.Config, p core.Params, scale float64, faultPlan string) uint64 {
+	mcfg.Seed = 0
+	h := fnv.New64a()
+	fmt.Fprintf(h, "fssim-plt|v%d|bench=%s|scale=%x|faults=%s|machine=%+v|params=%+v",
+		FormatVersion, bench, math.Float64bits(scale), faultPlan, mcfg, p)
+	return h.Sum64()
+}
+
+// ReplayHash binds a snapshot to one exact run: the learn-compatibility
+// hash, the full run-key string, and the derived machine seed. Two runs with
+// equal ReplayHash are the same deterministic simulation, so the stored
+// Stats are byte-identical to what re-running would produce.
+func ReplayHash(learnHash uint64, key string, seed int64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "fssim-replay|%016x|%s|seed=%d", learnHash, key, seed)
+	return h.Sum64()
+}
+
+// Store is a directory of snapshot files, one per (benchmark, learn-hash)
+// address. The zero Store is unusable; build with Open. A Store is safe for
+// concurrent use: writes are atomic (temp file + rename) and reads see
+// either the old or the new complete snapshot.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir. The directory is created lazily on
+// first save, so opening a store never touches the filesystem.
+func Open(dir string) *Store { return &Store{dir: dir} }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the snapshot file path for the given address.
+func (s *Store) Path(bench string, learnHash uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%016x.plt", sanitize(bench), learnHash))
+}
+
+// sanitize maps a benchmark name onto the filename-safe alphabet; the
+// snapshot header, not the filename, is the authoritative identity.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// Save writes the snapshot atomically: encoded to a temp file in the store
+// directory, fsync'd semantics aside, then renamed into place. A concurrent
+// reader never observes a partial file, and a crash mid-save leaves the
+// previous snapshot intact.
+func (s *Store) Save(snap *Snapshot) error {
+	if err := snap.Validate(); err != nil {
+		return fmt.Errorf("pltstore: refusing to save: %w", err)
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("pltstore: %w", err)
+	}
+	path := s.Path(snap.Benchmark, snap.LearnHash)
+	tmp, err := os.CreateTemp(s.dir, ".plt-tmp-*")
+	if err != nil {
+		return fmt.Errorf("pltstore: %w", err)
+	}
+	data := Encode(snap)
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("pltstore: writing %s: %w", path, werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("pltstore: %w", err)
+	}
+	return nil
+}
+
+// Load reads and fully validates the snapshot at the given address. It
+// returns ErrNotFound when no file exists, a *FormatError for malformed or
+// corrupt bytes, ErrMismatch for a file whose header identity disagrees with
+// the address, and core.ErrBadState-wrapped errors for semantically invalid
+// learner state. Only a nil error means the snapshot is safe to import.
+func (s *Store) Load(bench string, learnHash uint64) (*Snapshot, error) {
+	path := s.Path(bench, learnHash)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("pltstore: %w", err)
+	}
+	snap, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Benchmark != bench || snap.LearnHash != learnHash {
+		return nil, fmt.Errorf("%w: file %s describes %s/%016x",
+			ErrMismatch, filepath.Base(path), snap.Benchmark, snap.LearnHash)
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// List returns the snapshot file paths currently stored for bench (every
+// benchmark when bench is empty), sorted by name for determinism. A missing
+// store directory is an empty store, not an error.
+func (s *Store) List(bench string) ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("pltstore: %w", err)
+	}
+	prefix := ""
+	if bench != "" {
+		prefix = sanitize(bench) + "-"
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".plt") {
+			continue
+		}
+		if prefix != "" && !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		out = append(out, filepath.Join(s.dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -120,6 +121,30 @@ func (c *Client) Get(ctx context.Context, id string) (*RunResult, error) {
 	default:
 		return nil, apiError(resp, body)
 	}
+}
+
+// Snapshot fetches the newest persisted PLT snapshot for a benchmark
+// (GET /v1/plt/{benchmark}) as raw pltstore bytes — droppable into another
+// process's warm directory to ship learned state between hosts.
+func (c *Client) Snapshot(ctx context.Context, benchmark string) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/plt/"+url.PathEscape(benchmark), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp, body)
+	}
+	return body, nil
 }
 
 // Ready reports whether the server is accepting work (GET /readyz).

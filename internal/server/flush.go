@@ -20,8 +20,16 @@ import (
 // gets the Chrome trace-event document Perfetto loads. metricsPath gets the
 // deterministic per-run metrics registries followed by the host-dependent
 // harness counters; "-" writes them to stdout.
+//
+// When the scheduler has a warm store, every completed accelerated run's PLT
+// snapshot is also swept to disk here — the authoritative save that backs up
+// the per-run best-effort writes, so a drained process always leaves its
+// learned state behind.
 func WriteArtifacts(sched *experiments.Scheduler, tracePath, metricsPath string) error {
 	var errs []error
+	if _, err := sched.FlushWarm(); err != nil {
+		errs = append(errs, fmt.Errorf("plt snapshot flush: %w", err))
+	}
 	if tracePath != "" {
 		if err := writeFile(tracePath, func(w io.Writer) error {
 			if strings.HasSuffix(tracePath, ".jsonl") {

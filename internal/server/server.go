@@ -32,12 +32,15 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fssim/internal/experiments"
+	"fssim/internal/pltstore"
 	"fssim/internal/trace"
 )
 
@@ -80,6 +83,12 @@ type Config struct {
 	// long-lived server's memory stays bounded under arbitrarily many
 	// distinct requests. Default 4096.
 	MaxRecords int
+	// WarmDir roots a PLT snapshot store (internal/pltstore): accelerated
+	// runs' learned tables are persisted there, identical repeat requests are
+	// replayed from disk across server restarts, and GET /v1/plt/{benchmark}
+	// serves the newest snapshot. Stale or corrupt snapshots degrade to cold
+	// simulation. Empty disables persistence.
+	WarmDir string
 	// Breaker tunes the per-(benchmark, mode) circuit breakers.
 	Breaker BreakerConfig
 
@@ -201,6 +210,7 @@ func New(cfg Config) *Server {
 		Timeout:     cfg.RunTimeout,
 		Retries:     cfg.Retries,
 		Trace:       cfg.Trace,
+		WarmDir:     cfg.WarmDir,
 	}.WithContext(baseCtx))
 	reg := trace.NewRegistry()
 	s := &Server{
@@ -236,6 +246,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/plt/{benchmark}", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -580,6 +591,39 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		// Headers are gone; all we can do is abort the body.
 		return
 	}
+}
+
+// handleSnapshot is GET /v1/plt/{benchmark}: the newest persisted PLT
+// snapshot for the benchmark, as the raw pltstore bytes. A client can drop
+// the body into another process's warm dir to ship learned state between
+// hosts. 404 when persistence is disabled, the benchmark has no snapshot, or
+// the newest file no longer decodes — a corrupt store never serves garbage.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.sched.WarmDir() == "" {
+		writeJSON(w, http.StatusNotFound, errBody{"PLT persistence disabled (start the server with a warm dir)"})
+		return
+	}
+	bench := r.PathValue("benchmark")
+	path, ok := s.sched.WarmSnapshotPath(bench)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errBody{"no PLT snapshot for benchmark " + bench})
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errBody{"snapshot unreadable: " + err.Error()})
+		return
+	}
+	snap, err := pltstore.Decode(data)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errBody{"snapshot corrupt: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Fssim-Plt-Format-Version", strconv.Itoa(pltstore.FormatVersion))
+	w.Header().Set("X-Fssim-Plt-Key", snap.Key)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
 }
 
 // handleHealthz reports liveness: the process is up and serving HTTP.

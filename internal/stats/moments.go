@@ -1,0 +1,51 @@
+package stats
+
+// Moments is the exported, serialization-friendly form of a Welford
+// accumulator: observation count, sample mean, and the sum of squared
+// deviations from the mean (M2). It is the on-disk representation the PLT
+// snapshot format stores for every cluster statistic, and the algebra the
+// warm-start path uses to fold a reloaded cluster's history with newly
+// observed members without losing variance.
+type Moments struct {
+	N    int64
+	Mean float64
+	M2   float64
+}
+
+// Merge returns the moments of the union of the two underlying samples,
+// using the parallel-axis combination of Chan et al. — the same update
+// Welford.Merge applies in place. Merging with an empty side returns the
+// other side unchanged, so N=0 and N=1 accumulators (whose M2 is zero)
+// combine exactly: variance information is neither invented nor lost.
+func (m Moments) Merge(o Moments) Moments {
+	if o.N == 0 {
+		return m
+	}
+	if m.N == 0 {
+		return o
+	}
+	n := m.N + o.N
+	d := o.Mean - m.Mean
+	return Moments{
+		N:    n,
+		Mean: m.Mean + d*float64(o.N)/float64(n),
+		M2:   m.M2 + o.M2 + d*d*float64(m.N)*float64(o.N)/float64(n),
+	}
+}
+
+// Var returns the unbiased sample variance (0 with fewer than 2 observations),
+// mirroring Welford.Var.
+func (m Moments) Var() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	return m.M2 / float64(m.N-1)
+}
+
+// Moments returns the accumulator's exported moments — the serializable view
+// of its (unexported) running state.
+func (w *Welford) Moments() Moments { return Moments{N: w.n, Mean: w.mean, M2: w.m2} }
+
+// WelfordFromMoments reconstructs an accumulator from exported moments; the
+// round trip w.Moments() -> WelfordFromMoments is exact.
+func WelfordFromMoments(m Moments) Welford { return Welford{n: m.N, mean: m.Mean, m2: m.M2} }

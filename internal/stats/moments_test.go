@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func momentsOf(xs ...float64) Moments {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w.Moments()
+}
+
+func closeTo(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// TestMomentsMergeMatchesDirectAccumulation is the parallel-axis contract:
+// merging the moments of two disjoint sample halves must equal accumulating
+// the concatenated sample directly.
+func TestMomentsMergeMatchesDirectAccumulation(t *testing.T) {
+	left := []float64{3, 1, 4, 1, 5, 9, 2.5}
+	right := []float64{-6, 5, 3.5, 8.25}
+	got := momentsOf(left...).Merge(momentsOf(right...))
+	want := momentsOf(append(append([]float64{}, left...), right...)...)
+	if got.N != want.N || !closeTo(got.Mean, want.Mean) || !closeTo(got.M2, want.M2) {
+		t.Errorf("merged %+v, direct accumulation %+v", got, want)
+	}
+	if !closeTo(got.Var(), want.Var()) {
+		t.Errorf("merged variance %g, direct %g", got.Var(), want.Var())
+	}
+}
+
+// TestMomentsMergeEdgeCases pins the N=0 and N=1 behavior: empty sides are
+// identities, and two single observations merge into the exact two-sample
+// moments (mean of the pair, M2 = d²/2).
+func TestMomentsMergeEdgeCases(t *testing.T) {
+	var empty Moments
+	one := momentsOf(7)
+
+	if got := empty.Merge(empty); got != (Moments{}) {
+		t.Errorf("empty.Merge(empty) = %+v, want zero", got)
+	}
+	if got := one.Merge(empty); got != one {
+		t.Errorf("one.Merge(empty) = %+v, want %+v", got, one)
+	}
+	if got := empty.Merge(one); got != one {
+		t.Errorf("empty.Merge(one) = %+v, want %+v", got, one)
+	}
+
+	got := momentsOf(2).Merge(momentsOf(10))
+	want := momentsOf(2, 10)
+	if got.N != 2 || !closeTo(got.Mean, 6) || !closeTo(got.M2, want.M2) {
+		t.Errorf("singletons merged to %+v, want %+v", got, want)
+	}
+	if v := got.Var(); !closeTo(v, 32) { // ((2-6)² + (10-6)²) / (2-1)
+		t.Errorf("two-sample variance %g, want 32", v)
+	}
+
+	// N=1 accumulators carry no variance; merging must not invent any beyond
+	// the between-sample term.
+	if momentsOf(5).M2 != 0 {
+		t.Error("single observation must have M2 == 0")
+	}
+}
+
+// TestMomentsWelfordRoundTrip asserts the exported-moments round trip is
+// exact, including the Merge equivalence with Welford.Merge.
+func TestMomentsWelfordRoundTrip(t *testing.T) {
+	var a, b Welford
+	for i := 0; i < 17; i++ {
+		a.Add(float64(i) * 1.25)
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(float64(100 - 7*i))
+	}
+
+	ra := WelfordFromMoments(a.Moments())
+	if ra != a {
+		t.Errorf("round trip changed the accumulator: %+v vs %+v", ra, a)
+	}
+
+	merged := a.Moments().Merge(b.Moments())
+	wm := a // copy
+	wm.Merge(b)
+	if got := wm.Moments(); got.N != merged.N || !closeTo(got.Mean, merged.Mean) || !closeTo(got.M2, merged.M2) {
+		t.Errorf("Moments.Merge %+v disagrees with Welford.Merge %+v", merged, got)
+	}
+}
+
+// TestMomentsVar pins the guard: fewer than two observations report zero
+// variance rather than a division by zero.
+func TestMomentsVar(t *testing.T) {
+	if v := (Moments{}).Var(); v != 0 {
+		t.Errorf("empty variance %g, want 0", v)
+	}
+	if v := momentsOf(42).Var(); v != 0 {
+		t.Errorf("single-sample variance %g, want 0", v)
+	}
+}

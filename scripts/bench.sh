@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_4.json}"
+OUT="${BENCH_OUT:-BENCH_5.json}"
 BENCHTIME="${BENCHTIME:-1x}"
 PATTERN="${BENCH_PATTERN:-.}"
 
