@@ -1,5 +1,5 @@
 // Package fssim's benchmark harness: one testing.B benchmark per paper
-// artifact (Figures 1-12, Tables 1-2), the DESIGN.md §8 ablations, and
+// artifact (Figures 1-12, Tables 1-2), the DESIGN.md §9 ablations, and
 // micro-benchmarks of the simulator substrate. Run with:
 //
 //	go test -bench=. -benchmem
@@ -189,7 +189,7 @@ func BenchmarkTable2(b *testing.B) {
 	b.ReportMetric(cell(g[3]), "gmean-speedup")
 }
 
-// --- Ablations (DESIGN.md §7) ----------------------------------------------
+// --- Ablations (DESIGN.md §9) ----------------------------------------------
 
 func accelError(b *testing.B, bench string, tweakM func(*machine.Config),
 	tweakP func(*core.Params)) (errFrac, coverage float64) {

@@ -67,23 +67,42 @@ func (s Stats) Add(o Stats) Stats {
 	}
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	owner Owner
-	lru   uint64 // last-touch stamp; larger = more recent
-}
+// Line state is kept as a structure of arrays indexed by way slot
+// (set*assoc + way): the tag scan — the hottest loop in a detailed run —
+// then walks a dense uint64 array (an 8-way set's tags share one hardware
+// cache line) instead of striding through 24-byte structs.
+const (
+	metaValid = 1 << iota
+	metaDirty
+	metaOS // owner bit: set = OwnerOS, clear = OwnerApp
+)
 
 // Cache is a single set-associative cache level.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	tags     []uint64 // block number per way slot
+	lru      []uint64 // last-touch stamp; larger = more recent
+	meta     []uint8  // metaValid | metaDirty | metaOS
+	assoc    int
 	numSets  int
 	blkShift uint
 	setMask  uint64
 	stamp    uint64
 	stats    Stats
+}
+
+func metaOwner(m uint8) Owner {
+	if m&metaOS != 0 {
+		return OwnerOS
+	}
+	return OwnerApp
+}
+
+func ownerMeta(o Owner) uint8 {
+	if o == OwnerOS {
+		return metaOS
+	}
+	return 0
 }
 
 // New builds a cache from cfg. Size, Assoc and BlockSize must describe a
@@ -96,15 +115,13 @@ func New(cfg Config) *Cache {
 	if numSets <= 0 || numSets&(numSets-1) != 0 {
 		panic(fmt.Sprintf("cache %q: sets=%d not a power of two", cfg.Name, numSets))
 	}
-	c := &Cache{cfg: cfg, numSets: numSets, setMask: uint64(numSets - 1)}
+	c := &Cache{cfg: cfg, assoc: cfg.Assoc, numSets: numSets, setMask: uint64(numSets - 1)}
 	for s := 1; s < cfg.BlockSize; s <<= 1 {
 		c.blkShift++
 	}
-	c.sets = make([][]line, numSets)
-	backing := make([]line, numSets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
-	}
+	c.tags = make([]uint64, numSets*cfg.Assoc)
+	c.lru = make([]uint64, numSets*cfg.Assoc)
+	c.meta = make([]uint8, numSets*cfg.Assoc)
 	return c
 }
 
@@ -145,46 +162,57 @@ func (c *Cache) Access(addr uint64, words int, isWrite bool, owner Owner) Access
 		c.stats.OSAccesses += uint64(words)
 	}
 	set, tag := c.index(addr)
-	lines := c.sets[set]
-	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
-			lines[i].lru = c.stamp
+	base := set * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for i, t := range tags {
+		if t == tag && c.meta[base+i]&metaValid != 0 {
+			j := base + i
+			c.lru[j] = c.stamp
+			m := c.meta[j]&^metaOS | ownerMeta(owner)
 			if isWrite {
-				lines[i].dirty = true
+				m |= metaDirty
 			}
-			lines[i].owner = owner
+			c.meta[j] = m
 			return AccessResult{Hit: true}
 		}
 	}
-	// Miss: fill into invalid way or LRU victim.
+	// Miss: fill into invalid way or LRU victim. One fused pass: the first
+	// invalid way wins outright; otherwise the earliest minimum-lru way does —
+	// identical victim choice to separate invalid-then-LRU scans.
 	c.stats.Misses++
 	if owner == OwnerOS {
 		c.stats.OSMisses++
 	}
-	victim := -1
-	for i := range lines {
-		if !lines[i].valid {
+	lru := c.lru[base : base+c.assoc]
+	victim, filled := 0, false
+	for i := range tags {
+		if c.meta[base+i]&metaValid == 0 {
 			victim = i
+			filled = true
 			break
+		}
+		if lru[i] < lru[victim] {
+			victim = i
 		}
 	}
 	var res AccessResult
-	if victim < 0 {
-		victim = 0
-		for i := 1; i < len(lines); i++ {
-			if lines[i].lru < lines[victim].lru {
-				victim = i
-			}
-		}
+	j := base + victim
+	if !filled {
 		res.Evicted = true
-		res.EvictedDirty = lines[victim].dirty
-		res.EvictedAddr = lines[victim].tag << c.blkShift
+		res.EvictedDirty = c.meta[j]&metaDirty != 0
+		res.EvictedAddr = tags[victim] << c.blkShift
 		c.stats.Evictions++
 		if res.EvictedDirty {
 			c.stats.Writebacks++
 		}
 	}
-	lines[victim] = line{tag: tag, valid: true, dirty: isWrite, owner: owner, lru: c.stamp}
+	tags[victim] = tag
+	lru[victim] = c.stamp
+	m := metaValid | ownerMeta(owner)
+	if isWrite {
+		m |= metaDirty
+	}
+	c.meta[j] = m
 	return res
 }
 
@@ -192,8 +220,9 @@ func (c *Cache) Access(addr uint64, words int, isWrite bool, owner Owner) Access
 // counters. Used by tests and by the warmup checker.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
-	for _, ln := range c.sets[set] {
-		if ln.valid && ln.tag == tag {
+	base := set * c.assoc
+	for i, t := range c.tags[base : base+c.assoc] {
+		if t == tag && c.meta[base+i]&metaValid != 0 {
 			return true
 		}
 	}
@@ -202,21 +231,20 @@ func (c *Cache) Probe(addr uint64) bool {
 
 // InvalidateAll drops every line (TLB shootdown / flush semantics).
 func (c *Cache) InvalidateAll() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = line{}
-		}
-	}
+	clear(c.tags)
+	clear(c.lru)
+	clear(c.meta)
 }
 
 // Invalidate drops addr's line if present, returning whether it was dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	set, tag := c.index(addr)
-	lines := c.sets[set]
-	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
-			d := lines[i].dirty
-			lines[i] = line{}
+	base := set * c.assoc
+	for i, t := range c.tags[base : base+c.assoc] {
+		j := base + i
+		if t == tag && c.meta[j]&metaValid != 0 {
+			d := c.meta[j]&metaDirty != 0
+			c.tags[j], c.lru[j], c.meta[j] = 0, 0, 0
 			return true, d
 		}
 	}
@@ -233,31 +261,33 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 func (c *Cache) Touch(addr uint64) {
 	c.stamp++
 	set, tag := c.index(addr)
-	lines := c.sets[set]
-	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
-			lines[i].lru = c.stamp
-			lines[i].owner = OwnerOS
+	base := set * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for i, t := range tags {
+		if t == tag && c.meta[base+i]&metaValid != 0 {
+			c.lru[base+i] = c.stamp
+			c.meta[base+i] |= metaOS
 			return
 		}
 	}
-	victim := -1
-	for i := range lines {
-		if !lines[i].valid {
+	lru := c.lru[base : base+c.assoc]
+	victim, filled := 0, false
+	for i := range tags {
+		if c.meta[base+i]&metaValid == 0 {
 			victim = i
+			filled = true
 			break
 		}
-	}
-	if victim < 0 {
-		victim = 0
-		for i := 1; i < len(lines); i++ {
-			if lines[i].lru < lines[victim].lru {
-				victim = i
-			}
+		if lru[i] < lru[victim] {
+			victim = i
 		}
+	}
+	if !filled {
 		c.stats.PollutionEv++
 	}
-	lines[victim] = line{tag: tag, valid: true, owner: OwnerOS, lru: c.stamp}
+	tags[victim] = tag
+	lru[victim] = c.stamp
+	c.meta[base+victim] = metaValid | metaOS
 }
 
 // InjectPollution models the working-set displacement an OS service would
@@ -274,47 +304,45 @@ func (c *Cache) InjectPollution(n int, rng *rand.Rand) {
 	for i := 0; i < n; i++ {
 		c.stamp++
 		set := rng.Intn(c.numSets)
-		lines := c.sets[set]
-		victim := -1
+		base := set * c.assoc
+		lru := c.lru[base : base+c.assoc]
+		victim, filled := 0, false
 		// Invalid line first: pollution then consumes capacity without
-		// displacing live data.
-		for w := range lines {
-			if !lines[w].valid {
+		// displacing live data; otherwise the least-recently-used line, any
+		// owner — stale lines the OS itself left behind are displaced like
+		// any other.
+		for w := range lru {
+			if c.meta[base+w]&metaValid == 0 {
 				victim = w
+				filled = true
 				break
 			}
-		}
-		if victim < 0 {
-			// Least-recently-used line, any owner.
-			victim = 0
-			for w := 1; w < len(lines); w++ {
-				if lines[w].lru < lines[victim].lru {
-					victim = w
-				}
+			if lru[w] < lru[victim] {
+				victim = w
 			}
 		}
-		if lines[victim].valid {
+		if !filled {
 			c.stats.PollutionEv++
 		}
 		// Placeholder tag outside any allocated region; unique per injection
 		// so placeholder lines never alias real data.
 		phantom := (uint64(0xF0000000_00000000) | c.stamp<<c.blkShift) >> c.blkShift
-		lines[victim] = line{tag: phantom, valid: true, owner: OwnerOS, lru: c.stamp}
+		c.tags[base+victim] = phantom
+		lru[victim] = c.stamp
+		c.meta[base+victim] = metaValid | metaOS
 	}
 }
 
 // OwnedLines counts valid lines per owner; used by tests and diagnostics.
 func (c *Cache) OwnedLines() (app, os int) {
-	for _, set := range c.sets {
-		for _, ln := range set {
-			if !ln.valid {
-				continue
-			}
-			if ln.owner == OwnerApp {
-				app++
-			} else {
-				os++
-			}
+	for _, m := range c.meta {
+		if m&metaValid == 0 {
+			continue
+		}
+		if metaOwner(m) == OwnerApp {
+			app++
+		} else {
+			os++
 		}
 	}
 	return

@@ -52,9 +52,12 @@ func (p *Perf) add(m *machine.Measurement) {
 	p.IPC.Add(m.IPC())
 }
 
-// prediction converts the cluster means into a machine.Prediction.
-func (p *Perf) prediction() *machine.Prediction {
-	return &machine.Prediction{
+// predictInto fills out with the cluster means. The learner routes every
+// prediction through its reusable scratch record, so the hot prediction
+// path performs no per-interval allocation (the machine copies the fields
+// out before the next prediction — see machine.IntervalSink's contract).
+func (p *Perf) predictInto(out *machine.Prediction) {
+	*out = machine.Prediction{
 		Cycles:       uint64(math.Round(p.Cycles.Mean())),
 		L1IMisses:    uint64(math.Round(p.L1IM.Mean())),
 		L1DMisses:    uint64(math.Round(p.L1DM.Mean())),

@@ -119,7 +119,8 @@ func TestPredictionFromPerf(t *testing.T) {
 	var p Perf
 	p.add(&machine.Measurement{Insts: 100, Cycles: 400})
 	p.add(&machine.Measurement{Insts: 100, Cycles: 600})
-	pred := p.prediction()
+	var pred machine.Prediction
+	p.predictInto(&pred)
 	if pred.Cycles != 500 {
 		t.Errorf("predicted cycles = %d, want 500", pred.Cycles)
 	}

@@ -188,6 +188,12 @@ type Learner struct {
 	// machine's virtual clock during fast-forwarded intervals.
 	obsCycles float64
 	obsInsts  float64
+
+	// predScratch is the reusable prediction record Predict returns a
+	// pointer into; the machine consumes it field-wise before the next
+	// interval closes (see machine.IntervalSink), so steady-state
+	// prediction allocates nothing.
+	predScratch machine.Prediction
 }
 
 // NewLearner returns a learner for svc.
@@ -399,7 +405,8 @@ func (l *Learner) Predict(sig Signature) *machine.Prediction {
 		l.pushRing(-1)
 		l.wdPush(false)
 		l.trc.predicted(l.Table.Index(c))
-		return c.Perf.prediction()
+		c.Perf.predictInto(&l.predScratch)
+		return &l.predScratch
 	}
 
 	// Outlier: predict from the nearest centroid, then decide re-learning.
@@ -454,10 +461,12 @@ func (l *Learner) Predict(sig Signature) *machine.Prediction {
 // applied — the paper predicts directly from the closest centroid's stats.
 func (l *Learner) fallback(sig Signature) *machine.Prediction {
 	if c := l.Table.Nearest(sig); c != nil {
-		return c.Perf.prediction()
+		c.Perf.predictInto(&l.predScratch)
+	} else {
+		// Empty table (pathological): assume IPC 1 and no misses.
+		l.predScratch = machine.Prediction{Cycles: sig.Insts}
 	}
-	// Empty table (pathological): assume IPC 1 and no misses.
-	return &machine.Prediction{Cycles: sig.Insts}
+	return &l.predScratch
 }
 
 // outlier finds or creates the outlier entry matching sig.

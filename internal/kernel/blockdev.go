@@ -1,15 +1,34 @@
 package kernel
 
-import "fssim/internal/isa"
+import (
+	"fssim/internal/isa"
+	"fssim/internal/machine"
+)
 
 // Disk models the block device: an elevator queue with positioning latency
 // plus per-page transfer time, raising IRQ 49 (the paper's Int_49) on
 // completion. In App-Only simulation requests complete on the next event
 // poll with negligible latency, modeling "the OS and its devices are free".
+//
+// Completions are dispatched through the machine's event jump table rather
+// than per-request closures: busyUntil is monotonically non-decreasing, so
+// requests complete in submission order and an in-flight FIFO supplies the
+// request state the closure used to capture. Page lists are copied into a
+// free-listed arena at submit time and recycled after the completion IRQ,
+// so steady-state I/O performs zero heap allocations.
 type Disk struct {
 	k         *Kernel
 	busyUntil uint64
-	completed []*dreq
+
+	// inflight is the FIFO of submitted-but-uncompleted requests; head
+	// indexes the next request to complete. completed holds requests whose
+	// events fired but whose IRQ body has not yet reaped them. pagePool
+	// recycles the page-list backings of reaped requests.
+	inflight []dreq
+	head     int
+	completed []dreq
+	pagePool  [][]*Page
+	op        machine.EventOp
 
 	// Fault injection: while Now() < degradedUntil, positioning and transfer
 	// latency are multiplied by degradeFactor (a latency spike).
@@ -48,9 +67,59 @@ type dreq struct {
 
 func newDisk(k *Kernel) *Disk { return &Disk{k: k} }
 
+// capture copies pages into a pooled backing so the caller's slice is free
+// for reuse the moment Submit returns.
+func (d *Disk) capture(pages []*Page) []*Page {
+	var buf []*Page
+	if n := len(d.pagePool); n > 0 {
+		buf = d.pagePool[n-1][:0]
+		d.pagePool = d.pagePool[:n-1]
+	}
+	return append(buf, pages...)
+}
+
+// release returns a reaped request's page backing to the pool.
+func (d *Disk) release(pages []*Page) {
+	if pages == nil {
+		return
+	}
+	if machine.PoisonPools {
+		full := pages[:cap(pages)]
+		for i := range full {
+			full[i] = nil // a stale read of a recycled entry must fail loudly
+		}
+	}
+	d.pagePool = append(d.pagePool, pages)
+}
+
+// enqueue appends a request to the in-flight FIFO and schedules its
+// completion op at the device's busy horizon.
+func (d *Disk) enqueue(req dreq, at uint64) {
+	if d.head > 0 && d.head == len(d.inflight) {
+		d.inflight = d.inflight[:0]
+		d.head = 0
+	}
+	d.inflight = append(d.inflight, req)
+	d.k.m.ScheduleOp(at, d.op, 0, 0)
+}
+
+// complete is the disk's event-op handler: move the oldest in-flight
+// request to the completed list and raise the completion IRQ, exactly as
+// the per-request closure used to.
+func (d *Disk) complete(_, _ uint64) {
+	req := d.inflight[d.head]
+	if machine.PoisonPools {
+		d.inflight[d.head] = dreq{}
+	}
+	d.head++
+	d.completed = append(d.completed, req)
+	d.k.handleIRQ(isa.IrqDisk)
+}
+
 // Submit queues a read of the given page frames and schedules its
 // completion. The caller emits in syscall context; waiting for the pages is
-// the caller's business (see FS.readPages).
+// the caller's business (see FS.readPages). The pages slice is copied, so
+// callers may reuse their scratch immediately.
 func (d *Disk) Submit(pages []*Page) {
 	if len(pages) == 0 {
 		return
@@ -73,11 +142,7 @@ func (d *Disk) Submit(pages []*Page) {
 		d.busyUntil = now
 	}
 	d.busyUntil += d.latency(len(pages))
-	req := &dreq{pages: pages}
-	k.m.Schedule(d.busyUntil, func() {
-		d.completed = append(d.completed, req)
-		k.handleIRQ(isa.IrqDisk)
-	})
+	d.enqueue(dreq{pages: d.capture(pages)}, d.busyUntil)
 }
 
 // SubmitWrite queues a writeback of dirty pages: like Submit, but nothing
@@ -103,11 +168,8 @@ func (d *Disk) SubmitWrite(pages []*Page) {
 		d.busyUntil = now
 	}
 	d.busyUntil += d.latency(len(pages))
-	req := &dreq{} // no pages to mark: writeback completion is bookkeeping only
-	k.m.Schedule(d.busyUntil, func() {
-		d.completed = append(d.completed, req)
-		k.handleIRQ(isa.IrqDisk)
-	})
+	// No pages to mark: writeback completion is bookkeeping only.
+	d.enqueue(dreq{}, d.busyUntil)
 }
 
 // irqBody is the disk completion handler: per-request bio completion, page
@@ -116,7 +178,8 @@ func (d *Disk) irqBody() {
 	e := d.k.e
 	e.Call(d.k.fn.blockDone)
 	e.Mix(18)
-	for _, req := range d.completed {
+	for i := range d.completed {
+		req := &d.completed[i]
 		for _, pg := range req.pages {
 			e.Ops(5)
 			e.Store(pg.addr+8, 8) // PG_uptodate flag
@@ -125,6 +188,8 @@ func (d *Disk) irqBody() {
 			pg.wq.WakeAll()
 		}
 		e.Mix(12)
+		d.release(req.pages)
+		req.pages = nil
 	}
 	d.completed = d.completed[:0]
 	e.Ret()

@@ -75,6 +75,19 @@ type Kernel struct {
 	timerOn bool
 	ticks   uint64
 
+	// opTimer dispatches timer ticks through the machine's event jump
+	// table: the periodic rescheduling of the tick carries no closure, so
+	// the timer contributes zero steady-state allocations (see
+	// machine.ScheduleOp).
+	opTimer machine.EventOp
+
+	// Sleep-wakeup slab: SleepCycles parks threads on pooled wait queues
+	// addressed by slot index, so a sleep schedules an op event with the
+	// slot as payload instead of allocating a queue and a closure per call.
+	sleepers  []*WaitQueue
+	sleepFree []int32
+	opSleep   machine.EventOp
+
 	// Pre-resolved trace instruments. When the machine carries no recorder
 	// these are nil and every method call is a guarded no-op, so the hot
 	// paths pay one nil check rather than a map lookup.
@@ -165,6 +178,11 @@ func New(m *machine.Machine, tun Tunables) *Kernel {
 	k.disk = newDisk(k)
 	k.net = newNet(k)
 
+	k.opTimer = m.RegisterOp(func(_, _ uint64) { k.timerFire() })
+	k.opSleep = m.RegisterOp(k.sleepWake)
+	k.disk.op = m.RegisterOp(k.disk.complete)
+	k.net.opDeliver = m.RegisterOp(k.net.deliver)
+
 	m.SetIRQHandler(k.handleIRQ)
 	return k
 }
@@ -217,7 +235,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Thread {
 func (k *Kernel) Run() error {
 	if !k.appOnly() && !k.timerOn {
 		k.timerOn = true
-		k.m.ScheduleAfter(k.tun.TimerPeriod, k.timerFire)
+		k.m.ScheduleOpAfter(k.tun.TimerPeriod, k.opTimer, 0, 0)
 	}
 	return k.sched.run()
 }
@@ -232,7 +250,16 @@ func (k *Kernel) timerFire() {
 	k.ticks++
 	k.trcTicks.Inc()
 	k.handleIRQ(isa.IrqTimer)
-	k.m.ScheduleAfter(k.tun.TimerPeriod, k.timerFire)
+	k.m.ScheduleOpAfter(k.tun.TimerPeriod, k.opTimer, 0, 0)
+}
+
+// sleepWake is the SleepCycles op handler: wake the pooled wait queue in
+// slot a and return the slot to the free list. WakeOne detaches the waiter
+// before handing it to the scheduler, so the queue is reusable immediately.
+func (k *Kernel) sleepWake(a, _ uint64) {
+	wq := k.sleepers[a]
+	wq.WakeOne()
+	k.sleepFree = append(k.sleepFree, int32(a))
 }
 
 // handleIRQ is the machine's interrupt entry: it opens (or nests into) an OS

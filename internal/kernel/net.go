@@ -1,6 +1,9 @@
 package kernel
 
-import "fssim/internal/isa"
+import (
+	"fssim/internal/isa"
+	"fssim/internal/machine"
+)
 
 // Net is the simulated TCP/IP stack plus NIC. Guest threads use the socket
 // system calls; the external world (web clients, an iperf sink) is modeled
@@ -37,6 +40,19 @@ type Net struct {
 	PacketsRx uint64
 	BytesTx   uint64
 	BytesRx   uint64
+
+	// Segment-delivery slab: sendBody schedules deliveries as op events
+	// whose payload indexes this free-listed slab, replacing the per-segment
+	// closure capture. Slots are recycled as soon as the delivery fires.
+	delivSlab []deliv
+	delivFree []int32
+	opDeliver machine.EventOp
+}
+
+// deliv is one in-flight segment delivery awaiting its arrival event.
+type deliv struct {
+	sock  *Socket
+	bytes int
 }
 
 // skbSlot returns the data area for the next nbytes of socket payload,
@@ -376,19 +392,37 @@ func (n *Net) sendBody(p *Proc, s *Socket, buf uint64, nbytes int) {
 				arrive += n.lossExtra
 			}
 		}
-		sent := chunk
-		sock := s
-		k.m.Schedule(arrive, func() {
-			if sock.onDeliver != nil {
-				sock.onDeliver(sent)
-			}
-			n.ackPending = append(n.ackPending, ackWork{sock: sock, bytes: sent})
-			k.handleIRQ(isa.IrqNIC)
-		})
+		var slot int32
+		if nf := len(n.delivFree); nf > 0 {
+			slot = n.delivFree[nf-1]
+			n.delivFree = n.delivFree[:nf-1]
+		} else {
+			slot = int32(len(n.delivSlab))
+			n.delivSlab = append(n.delivSlab, deliv{})
+		}
+		n.delivSlab[slot] = deliv{sock: s, bytes: chunk}
+		k.m.ScheduleOp(arrive, n.opDeliver, uint64(slot), 0)
 		src += uint64(chunk)
 		remaining -= chunk
 	}
 	e.Ret()
+}
+
+// deliver is the segment-arrival op handler: hand the payload to the
+// external peer, queue the ACK, and raise the NIC IRQ — the body the
+// per-segment closure used to carry. The slab slot is recycled before the
+// IRQ so a delivery that triggers more sends can reuse it immediately.
+func (n *Net) deliver(a, _ uint64) {
+	d := n.delivSlab[a]
+	if machine.PoisonPools {
+		n.delivSlab[a] = deliv{sock: nil, bytes: -1 << 30}
+	}
+	n.delivFree = append(n.delivFree, int32(a))
+	if d.sock.onDeliver != nil {
+		d.sock.onDeliver(d.bytes)
+	}
+	n.ackPending = append(n.ackPending, ackWork{sock: d.sock, bytes: d.bytes})
+	n.k.handleIRQ(isa.IrqNIC)
 }
 
 // closeSocket tears down s (called from sys_close) and notifies the external

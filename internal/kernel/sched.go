@@ -43,7 +43,27 @@ type Thread struct {
 	quantumLeft int
 	taskAddr    uint64 // simulated address of the task struct
 	exitWaiters *WaitQueue
-	parkSite    string // diagnostics: where the thread last parked
+	// parkPC is the caller PC of the thread's last blocking park (0 =
+	// preempted, not blocked). The "file:line" string is only materialized
+	// on the diagnostics path, so steady-state blocking allocates nothing.
+	parkPC uintptr
+}
+
+// parkSite renders the thread's last park location for diagnostics.
+func (t *Thread) parkSite() string {
+	if t.parkPC == 0 {
+		return "preempt"
+	}
+	frames := runtime.CallersFrames([]uintptr{t.parkPC})
+	f, _ := frames.Next()
+	if f.File == "" {
+		return "?"
+	}
+	file := f.File
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", file, f.Line)
 }
 
 // Name returns the thread's name.
@@ -248,7 +268,7 @@ func (s *Scheduler) describeThreads() string {
 		if out != "" {
 			out += ", "
 		}
-		out += t.name + "=" + states[t.state] + "@" + t.parkSite
+		out += t.name + "=" + states[t.state] + "@" + t.parkSite()
 	}
 	return out
 }
@@ -289,9 +309,9 @@ func (s *Scheduler) reschedule(blocked bool) {
 	t.depth = s.k.m.Depth()
 	t.cursor = s.k.m.SwapCursor(machine.Cursor{PC: s.k.fn.schedule})
 	if blocked {
-		t.parkSite = callerSite(2)
+		t.parkPC = callerPC(2)
 	} else {
-		t.parkSite = "preempt"
+		t.parkPC = 0
 	}
 	t.parked <- struct{}{}
 	<-t.resume
@@ -299,16 +319,14 @@ func (s *Scheduler) reschedule(blocked bool) {
 	s.k.m.AbortIfCanceled()
 }
 
-// callerSite returns "file:line" for diagnostics.
-func callerSite(skip int) string {
-	_, file, line, ok := runtime.Caller(skip)
-	if !ok {
-		return "?"
+// callerPC returns the caller's program counter without allocating; resolve
+// it to "file:line" with Thread.parkSite only when diagnostics fire.
+func callerPC(skip int) uintptr {
+	var pcs [1]uintptr
+	if runtime.Callers(skip+1, pcs[:]) == 0 {
+		return 0
 	}
-	if i := strings.LastIndexByte(file, '/'); i >= 0 {
-		file = file[i+1:]
-	}
-	return fmt.Sprintf("%s:%d", file, line)
+	return pcs[0]
 }
 
 // jitterActive reports whether a fault-injected scheduler-jitter window is
@@ -480,10 +498,16 @@ func (wq *WaitQueue) remove(t *Thread) {
 }
 
 // WakeOne wakes the first waiter, if any, returning whether one was woken.
+// Dequeuing shifts in place rather than advancing the slice head, so the
+// queue's backing array survives drain/refill cycles and steady-state
+// blocking allocates nothing (queues rarely hold more than a few waiters).
 func (wq *WaitQueue) WakeOne() bool {
 	for len(wq.waiters) > 0 {
 		t := wq.waiters[0]
-		wq.waiters = wq.waiters[1:]
+		last := len(wq.waiters) - 1
+		copy(wq.waiters, wq.waiters[1:])
+		wq.waiters[last] = nil
+		wq.waiters = wq.waiters[:last]
 		if t.state == tBlocked {
 			wq.k.sched.wake(t)
 			return true
@@ -499,13 +523,29 @@ func (wq *WaitQueue) WakeAll() {
 }
 
 // SleepCycles blocks the current thread for the given number of cycles
-// (nanosleep-style).
+// (nanosleep-style). The wakeup rides an op event whose payload names a
+// pooled wait queue, so steady-state sleeping allocates nothing: the queue
+// is recycled the moment its wakeup fires (WakeOne detaches the waiter
+// before the thread resumes).
 func (k *Kernel) SleepCycles(cycles uint64) {
 	if k.appOnly() || cycles == 0 {
 		return
 	}
-	wq := k.NewWaitQueue()
-	k.m.ScheduleAfter(cycles, func() { wq.WakeOne() })
+	var slot int32
+	if n := len(k.sleepFree); n > 0 {
+		slot = k.sleepFree[n-1]
+		k.sleepFree = k.sleepFree[:n-1]
+	} else {
+		slot = int32(len(k.sleepers))
+		k.sleepers = append(k.sleepers, &WaitQueue{k: k})
+	}
+	wq := k.sleepers[slot]
+	// Each sleep takes a fresh simulated head address, exactly as the
+	// historical per-sleep NewWaitQueue did — only the host-side structure
+	// is recycled, so the emitted address stream (and with it every golden
+	// table) is unchanged.
+	wq.addr = k.heap.Alloc(32)
+	k.m.ScheduleOpAfter(cycles, k.opSleep, uint64(slot), 0)
 	wq.Sleep()
 }
 

@@ -1,0 +1,169 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"fssim/internal/isa"
+	"fssim/internal/trace"
+)
+
+// intervalAllocBudget pins the steady-state heap-allocation cost of one
+// simulated OS-service interval driven through the machine hot path — the
+// emitter's scratch instruction, the typed event heap, op-dispatched device
+// events, and the per-machine interval scratch buffers. The budget is zero:
+// after warm-up (slice high-water marks reached, phantom map populated,
+// trace ring wrapped) an interval must not touch the heap at all, whichever
+// core model is active, whether the interval is simulated in detail or
+// fast-forwarded, whether tracing records it, and whether device events
+// fire inside it. Any regression here reintroduces a per-interval (or worse,
+// per-instruction) allocation that the whole-run benchmarks would only show
+// as a diffuse slowdown.
+const intervalAllocBudget = 0
+
+// budgetSink is a minimal acceleration engine: it forces every interval into
+// emulation and predicts through a reusable record, like core.Learner does.
+type budgetSink struct {
+	pred Prediction
+}
+
+func (s *budgetSink) OnServiceStart(svc isa.ServiceID) (bool, float64) { return false, 1.3 }
+
+func (s *budgetSink) OnServiceEnd(svc isa.ServiceID, sig Signature, meas *Measurement) *Prediction {
+	if meas != nil {
+		return nil
+	}
+	s.pred = Prediction{
+		Cycles:      sig.Insts * 2,
+		L1IMisses:   2,
+		L1DMisses:   3,
+		L2Misses:    1,
+		L1IAccesses: sig.Insts,
+		L1DAccesses: sig.Insts / 2,
+		L2Accesses:  5,
+	}
+	return &s.pred
+}
+
+// driveInterval emits one user→kernel→user round trip shaped like a real
+// service: user code, a syscall-style entry, a called kernel routine with a
+// memory-access mix, a device event scheduled and firing mid-service (the
+// path every disk completion, packet arrival and timer tick takes), and the
+// return to user mode.
+func driveInterval(m *Machine, e Emitter, op EventOp, events bool) {
+	e.Ops(8) // user code
+	m.KEnter(isa.Sys(isa.SysRead))
+	e.Call(KernelCodeBase + 0x400)
+	e.Mix(40)
+	e.Load(0x1000, 8, 0)
+	e.Store(0x1040, 8)
+	if events {
+		m.ScheduleOpAfter(5, op, 7, 9) // fires inside the service
+	}
+	e.Mix(30)
+	e.Branch(true, KernelCodeBase+0x800)
+	e.Ops(6)
+	e.Ret()
+	e.Iret()
+	m.KExit()
+	e.Ops(4) // user code
+}
+
+// TestIntervalAllocBudget measures AllocsPerRun over the full cross product
+// of core model × simulation mode × tracing × device events, pinning each
+// combination to intervalAllocBudget.
+func TestIntervalAllocBudget(t *testing.T) {
+	cores := []struct {
+		name string
+		kind CoreKind
+	}{{"ooo", CoreOOO}, {"inorder", CoreInOrder}}
+	modes := []struct {
+		name string
+		mode SimMode
+	}{{"detailed", FullSystem}, {"emulated", Accelerated}}
+
+	for _, core := range cores {
+		for _, mode := range modes {
+			for _, traced := range []bool{false, true} {
+				for _, events := range []bool{false, true} {
+					name := fmt.Sprintf("%s/%s/traced=%v/events=%v",
+						core.name, mode.name, traced, events)
+					t.Run(name, func(t *testing.T) {
+						cfg := DefaultConfig()
+						cfg.Core = core.kind
+						cfg.Mode = mode.mode
+						m := New(cfg)
+						if mode.mode == Accelerated {
+							m.SetSink(&budgetSink{})
+						}
+						if traced {
+							// A small ring so the measured intervals wrap it:
+							// eviction-path recording must be free too.
+							m.SetTrace(trace.NewRecorder(trace.Config{SpanCap: 32, InstantCap: 8}))
+						}
+						// Observer consuming the scratch records the way the
+						// characterization harness does (copy, don't retain).
+						var sum uint64
+						m.SetObserver(func(r IntervalRecord) {
+							if r.Meas != nil {
+								sum += r.Meas.Cycles
+							}
+							if r.Predicted != nil {
+								sum += r.Predicted.Cycles
+							}
+						})
+						var fired uint64
+						op := m.RegisterOp(func(a, b uint64) { fired += a + b })
+						e := m.Emitter()
+						// Warm-up: reach every slice's high-water mark, create
+						// the phantom map, wrap the trace ring.
+						for i := 0; i < 64; i++ {
+							driveInterval(m, e, op, events)
+						}
+						avg := testing.AllocsPerRun(100, func() {
+							driveInterval(m, e, op, events)
+						})
+						if avg > intervalAllocBudget {
+							t.Errorf("%.2f allocs per interval, budget %d", avg, intervalAllocBudget)
+						}
+						if events && fired == 0 {
+							t.Fatal("op events never fired; the measured loop missed the event path")
+						}
+						if sum == 0 {
+							t.Fatal("observer saw no cycles; the measured loop closed no intervals")
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleOpAllocFree pins the raw event-queue hot path on its own:
+// scheduling and firing an op event allocates nothing once the heap's
+// backing array has reached its high-water mark.
+func TestScheduleOpAllocFree(t *testing.T) {
+	m := New(DefaultConfig())
+	var fired uint64
+	op := m.RegisterOp(func(a, b uint64) { fired++ })
+	// High-water the queue.
+	for i := 0; i < 256; i++ {
+		m.ScheduleOp(uint64(i), op, 0, 0)
+	}
+	for m.AdvanceIdle() {
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		at := m.Now() + 3
+		m.ScheduleOp(at, op, 1, 2)
+		m.ScheduleOp(at, op, 3, 4)
+		m.ScheduleOp(at+1, op, 5, 6)
+		for m.AdvanceIdle() {
+		}
+	})
+	if avg > 0 {
+		t.Errorf("schedule+fire allocates %.2f per run, want 0", avg)
+	}
+	if fired == 0 {
+		t.Fatal("events never fired")
+	}
+}

@@ -62,10 +62,19 @@ func (m *Machine) Emitter() Emitter { return Emitter{m: m} }
 // Machine returns the underlying machine.
 func (e Emitter) Machine() *Machine { return e.m }
 
+// emit stages the instruction in the machine's scratch slot and executes
+// it. Staging matters: Exec takes a pointer that flows into the cpu.Core
+// interface, so a stack-local instruction would escape — one heap
+// allocation per emitted instruction, which profiling showed was ~95% of
+// all allocation in a detailed run. The machine consumes the instruction
+// synchronously (reentrant emissions from device events rewrite the slot
+// only after the outer Exec is done reading it), so the single scratch is
+// safe.
+// emit is cheap enough to inline into every helper, so the instruction
+// literal is built directly in the scratch slot with no stack intermediate.
 func (e Emitter) emit(in isa.Inst) {
-	in.PC = e.m.cursor.PC
-	e.m.cursor.PC += 4
-	e.m.Exec(&in)
+	e.m.inst = in
+	e.m.execStaged()
 }
 
 // Ops emits n independent single-cycle integer operations.

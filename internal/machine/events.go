@@ -1,31 +1,127 @@
 package machine
 
-import "container/heap"
+// The event queue is the hot heart of the device model: every disk
+// completion, packet arrival, timer tick and sleep wakeup passes through it,
+// interleaved with the instruction stream at a rate of thousands of events
+// per simulated second. Two properties keep it allocation-free in steady
+// state:
+//
+//   - Events are plain values in a typed binary heap. There is no
+//     container/heap interface{} boxing, so pushing and popping never
+//     allocates (beyond amortized slice growth, which stops once the queue
+//     has reached its high-water mark).
+//
+//   - Hot schedulers use op-dispatched events: a typed op code naming a
+//     handler in the machine's per-machine jump table plus two payload
+//     words, instead of a fresh closure per event. The handler closure is
+//     allocated once at registration; per-event state rides in the payload.
+//     The closure form (Schedule with a func()) remains available for cold
+//     paths — setup, fault plans, guest-level callbacks — where a capture
+//     allocation per event is irrelevant.
+//
+// Determinism: events fire in (at, seq) order, seq being a per-machine
+// counter, so each machine's event order is a pure function of its own
+// scheduling history regardless of heap internals or parallelism.
 
-// event is a scheduled device callback.
+// EventOp names a handler registered in the machine's dispatch table.
+type EventOp int32
+
+// opFunc marks a closure-carrying event (Schedule); payload words unused.
+const opFunc EventOp = -1
+
+// event is a scheduled device callback: either a registered op with two
+// payload words, or a closure.
 type event struct {
 	at  uint64
 	seq uint64 // tie-break for determinism
+	op  EventOp
+	a   uint64
+	b   uint64
 	fn  func()
 }
 
+// eventQueue is a typed binary min-heap over value events ordered by
+// (at, seq). It replaces container/heap to avoid the interface{} boxing
+// allocation on every Push/Pop.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	if PoisonPools {
+		// Scrub the vacated slot so any read of recycled heap backing is
+		// loud garbage rather than a plausible stale event.
+		h[n] = event{at: ^uint64(0), seq: ^uint64(0), op: -2,
+			a: 0xDEADDEADDEADDEAD, b: 0xDEADDEADDEADDEAD}
+	} else {
+		h[n] = event{} // drop the closure reference for the GC
+	}
+	h = h[:n]
+	*q = h
+	// Sift the relocated tail element down to its place.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && h.less(r, l) {
+			c = r
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
+}
+
+// PoisonPools, when set (tests only), makes every pooled or free-listed
+// record in the simulator — vacated event-heap slots, recycled kernel
+// scratch, per-machine measurement/prediction buffers — get overwritten
+// with loud garbage at release time. The determinism suites run with this
+// enabled to prove that record reuse never leaks state across intervals,
+// runs, or machines: if any consumer reads a recycled record before its
+// producer fully rewrites it, the poison changes the simulation's output
+// and the byte-identity tests fail.
+var PoisonPools bool
+
+// PoisonPattern is the word pooled records are scrubbed with.
+const PoisonPattern uint64 = 0xDEADDEADDEADDEAD
+
+// RegisterOp adds a handler to the machine's event dispatch table and
+// returns its op code for ScheduleOp. Handlers receive the two payload
+// words the event was scheduled with. Registration happens at setup time
+// (kernel construction, device attach); the returned op is stable for the
+// machine's lifetime.
+func (m *Machine) RegisterOp(h func(a, b uint64)) EventOp {
+	m.ops = append(m.ops, h)
+	return EventOp(len(m.ops) - 1)
 }
 
 // Schedule runs fn when the global cycle counter reaches cycle `at`
@@ -35,9 +131,12 @@ func (q *eventQueue) Pop() interface{} {
 // The tie-break sequence is per-machine so that concurrently running
 // machines stay race-free and each machine's event order is a pure
 // function of its own history.
+//
+// Schedule carries a closure and is the cold-path form; steady-state
+// device scheduling should use ScheduleOp, which allocates nothing.
 func (m *Machine) Schedule(at uint64, fn func()) {
 	m.eventSeq++
-	heap.Push(&m.events, event{at: at, seq: m.eventSeq, fn: fn})
+	m.events.push(event{at: at, seq: m.eventSeq, op: opFunc, fn: fn})
 	if at < m.next {
 		m.next = at
 	}
@@ -46,6 +145,22 @@ func (m *Machine) Schedule(at uint64, fn func()) {
 // ScheduleAfter runs fn delay cycles from now.
 func (m *Machine) ScheduleAfter(delay uint64, fn func()) {
 	m.Schedule(m.core.Now()+delay, fn)
+}
+
+// ScheduleOp schedules a registered handler with two payload words. The
+// event is a plain value — no closure, no boxing — so steady-state device
+// scheduling through this path performs zero heap allocations.
+func (m *Machine) ScheduleOp(at uint64, op EventOp, a, b uint64) {
+	m.eventSeq++
+	m.events.push(event{at: at, seq: m.eventSeq, op: op, a: a, b: b})
+	if at < m.next {
+		m.next = at
+	}
+}
+
+// ScheduleOpAfter schedules a registered handler delay cycles from now.
+func (m *Machine) ScheduleOpAfter(delay uint64, op EventOp, a, b uint64) {
+	m.ScheduleOp(m.core.Now()+delay, op, a, b)
 }
 
 // pollEvents fires all due events (unless a delivery is already on the
@@ -60,8 +175,12 @@ func (m *Machine) pollEvents() {
 	}
 	m.delivering = true
 	for len(m.events) > 0 && m.events[0].at <= m.core.Now() {
-		e := heap.Pop(&m.events).(event)
-		e.fn()
+		e := m.events.pop()
+		if e.op >= 0 {
+			m.ops[e.op](e.a, e.b)
+		} else {
+			e.fn()
+		}
 	}
 	if len(m.events) > 0 {
 		m.next = m.events[0].at

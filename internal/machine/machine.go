@@ -135,13 +135,22 @@ type Prediction struct {
 // the matching kernel→user transition with either the detailed measurement
 // (learning) or the instruction-count signature (prediction), and must
 // return a Prediction in the latter case.
+//
+// Memory contract: the *Measurement passed to OnServiceEnd points into a
+// per-machine scratch buffer that is rewritten at the next detailed
+// interval, and the returned *Prediction is consumed (copied field-wise)
+// before OnServiceEnd is called again — both sides may reuse their records
+// and neither may retain the other's pointer past the call.
 type IntervalSink interface {
 	OnServiceStart(svc isa.ServiceID) (detailed bool, estCPI float64)
 	OnServiceEnd(svc isa.ServiceID, sig Signature, meas *Measurement) *Prediction
 }
 
 // IntervalRecord is the characterization view of one completed interval,
-// delivered to an optional observer (Figs 3–6 are built from these).
+// delivered to an optional observer (Figs 3–6 are built from these). The
+// Predicted and Meas pointers reference per-machine/per-learner scratch
+// records valid only for the duration of the observer call; observers that
+// need the data later must copy the values out.
 type IntervalRecord struct {
 	Service   isa.ServiceID
 	Insts     uint64
@@ -161,8 +170,28 @@ type Machine struct {
 	Lay  *memsim.Layout
 
 	events   eventQueue
-	eventSeq uint64 // per-machine tie-break counter for simultaneous events
-	next     uint64 // cycle of earliest pending event (cache of heap head)
+	eventSeq uint64               // per-machine tie-break counter for simultaneous events
+	next     uint64               // cycle of earliest pending event (cache of heap head)
+	ops      []func(a, b uint64)  // event dispatch table (RegisterOp / ScheduleOp)
+
+	// inst is the emitter's scratch instruction: Emitter.emit stages each
+	// dynamic instruction here and passes its address to Exec, so the
+	// instruction never escapes to the heap (the cpu.Core interface call
+	// would otherwise force one allocation per emitted instruction — the
+	// dominant allocation of the entire simulator before this scratch).
+	// Exec and the timing cores consume the instruction synchronously and
+	// never retain the pointer, so reuse across (possibly reentrant)
+	// emissions is safe.
+	inst isa.Inst
+
+	// measScratch and predScratch are the per-machine interval buffers:
+	// closeInterval publishes each detailed measurement and each degenerate
+	// fallback prediction through these instead of allocating per interval.
+	// IntervalSink and observer callbacks receive pointers into them and
+	// must not retain them past the call (both contracts are documented on
+	// the interfaces); everything is fully rewritten before the next use.
+	measScratch Measurement
+	predScratch Prediction
 
 	depth      int // current context's kernel nesting depth
 	inInterval bool
@@ -346,6 +375,21 @@ func (m *Machine) AbortIfCanceled() {
 	}
 }
 
+// execStaged stamps the staged scratch instruction with the cursor PC,
+// advances the cursor, and executes it — the deliberately out-of-line half
+// of Emitter.emit. The noinline keeps execStaged from folding back into
+// emit and pushing it over the inlining budget: emit must inline into every
+// helper so each instruction literal is built directly in the scratch slot
+// (no stack intermediate, no argument copy — the copies were ~20% of a
+// detailed run's CPU time).
+//
+//go:noinline
+func (m *Machine) execStaged() {
+	m.inst.PC = m.cursor.PC
+	m.cursor.PC += 4
+	m.Exec(&m.inst)
+}
+
 // Exec runs one dynamic instruction through the active backend. Kernel and
 // guest code normally call this through an Emitter, which manages the PC
 // cursor.
@@ -477,7 +521,10 @@ func (m *Machine) closeInterval() {
 			pred = m.sink.OnServiceEnd(m.curSvc, m.curSig, nil)
 		}
 		if pred == nil {
-			pred = &Prediction{Cycles: insts} // degenerate fallback: IPC 1
+			// Degenerate fallback (IPC 1), staged in the machine's scratch
+			// so the no-sink path allocates nothing per interval.
+			m.predScratch = Prediction{Cycles: insts}
+			pred = &m.predScratch
 		}
 		// The cluster's recorded cycles include any I/O or idle wait the
 		// service experienced. Simulated time may already have advanced
@@ -513,12 +560,14 @@ func (m *Machine) closeInterval() {
 		rec.Cycles = pred.Cycles
 		rec.Predicted = pred
 	} else {
-		meas := m.measureInterval()
-		rec.Insts = meas.Insts
-		rec.Cycles = meas.Cycles
-		rec.Meas = &meas
+		// The measurement lives in the machine's scratch buffer: sink and
+		// observer consume it synchronously, so no per-interval allocation.
+		m.measScratch = m.measureInterval()
+		rec.Insts = m.measScratch.Insts
+		rec.Cycles = m.measScratch.Cycles
+		rec.Meas = &m.measScratch
 		if m.cfg.Mode == Accelerated && m.sink != nil {
-			m.sink.OnServiceEnd(m.curSvc, m.curSig, &meas)
+			m.sink.OnServiceEnd(m.curSvc, m.curSig, &m.measScratch)
 		}
 	}
 	m.emulating = false
@@ -531,6 +580,12 @@ func (m *Machine) closeInterval() {
 	}
 	if m.observer != nil {
 		m.observer(rec)
+	}
+	if PoisonPools {
+		// Scrub the interval scratch so a consumer that wrongly retained a
+		// pointer past the callback reads loud garbage in the poison suites.
+		m.measScratch = Measurement{Insts: PoisonPattern, Cycles: PoisonPattern}
+		m.predScratch = Prediction{Cycles: PoisonPattern, L2Misses: PoisonPattern}
 	}
 	// Events that came due while the interval was fast-forwarded fire now.
 	if m.core.Now() >= m.next {

@@ -146,9 +146,16 @@ func NewRecorder(cfg Config) *Recorder {
 		cfg.InstantCap = def.InstantCap
 	}
 	r := &Recorder{
-		cfg:    cfg,
-		reg:    NewRegistry(),
-		totals: make(map[isa.ServiceID]*ServiceTotal),
+		cfg: cfg,
+		reg: NewRegistry(),
+		// Ring storage is reserved up front (the documented ~4 MB per
+		// machine): recording a span or instant then never reallocates, so
+		// an enabled recorder adds zero steady-state allocations to the
+		// simulation hot loop — the same contract the nil recorder gives
+		// the disabled path.
+		spans:    make([]Span, 0, cfg.SpanCap),
+		instants: make([]Instant, 0, cfg.InstantCap),
+		totals:   make(map[isa.ServiceID]*ServiceTotal),
 	}
 	r.hCycles = r.reg.Histogram("interval.cycles")
 	r.hInsts = r.reg.Histogram("interval.insts")
