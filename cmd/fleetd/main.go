@@ -1,0 +1,110 @@
+// Command fleetd is the fleet routing tier: one HTTP front-end that shards
+// simulation requests over N fssimd backends with a consistent-hash ring
+// keyed by the deterministic run id, so each backend's RunKey memo cache
+// holds its shard of the keyspace instead of duplicating all of it.
+//
+// Failure handling leans on the system's core invariant — every response is
+// a byte-identical pure function of the normalized request — so a request
+// that hits a dead, draining or erroring backend simply fails over to the
+// next ring node. Backends are probed via /readyz and ejected when they turn
+// into outliers; slow idempotent GETs are hedged; and when fewer than a
+// quorum of backends are healthy the router degrades to running requests on
+// an embedded local scheduler (responses marked X-Fssim-Fleet: degraded).
+//
+// Usage:
+//
+//	fleetd -backends http://n1:8080,http://n2:8080,http://n3:8080
+//	fleetd -addr :8100 -quorum 2      # routable while >= 2 backends healthy
+//	fleetd -hedge-after 50ms          # fixed hedging delay (default adaptive)
+//	fleetd -local=false               # fail closed instead of degrading
+//
+// The router mirrors the fssimd endpoint surface (POST /v1/runs,
+// GET /v1/runs/{id}[/trace], GET /v1/plt...), plus its own /healthz, /readyz
+// (fleet health summary) and /metrics (fleet.* instruments).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fssim/internal/fleet"
+	"fssim/internal/server"
+	"fssim/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":8100", "listen address")
+	backends := flag.String("backends", "", "comma-separated fssimd base URLs (required)")
+	replicas := flag.Int("replicas", fleet.DefaultReplicas, "virtual ring points per backend")
+	quorum := flag.Int("quorum", 0, "min healthy backends for fleet routing (0 = majority); below it requests run locally")
+	passes := flag.Int("passes", 2, "full failover sweeps over a key's ring sequence before giving up")
+	attemptTimeout := flag.Duration("attempt-timeout", time.Minute, "per-backend attempt bound")
+	hedgeAfter := flag.Duration("hedge-after", 0, "idempotent-GET hedging delay (0 = adaptive from observed latency, negative = off)")
+	probeEvery := flag.Duration("probe-interval", time.Second, "backend /readyz probe period")
+	scale := flag.Float64("scale", 1.0, "default workload scale (must match the backends' -scale)")
+	seed := flag.Int64("seed", 1, "default seed (must match the backends' -seed)")
+	local := flag.Bool("local", true, "run requests on an embedded scheduler when the fleet is below quorum")
+	localWorkers := flag.Int("local-workers", 0, "embedded scheduler worker-pool width (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	var list []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			list = append(list, b)
+		}
+	}
+	if len(list) == 0 {
+		fmt.Fprintln(os.Stderr, "fleetd: -backends is required (comma-separated base URLs)")
+		os.Exit(2)
+	}
+
+	var localSrv *server.Server
+	if *local {
+		localSrv = server.New(server.Config{
+			Workers: *localWorkers,
+			Scale:   *scale,
+			Seed:    *seed,
+		})
+	}
+
+	rt, err := fleet.NewRouter(fleet.RouterConfig{
+		Addr:           *addr,
+		Backends:       list,
+		Replicas:       *replicas,
+		Quorum:         *quorum,
+		Passes:         *passes,
+		AttemptTimeout: *attemptTimeout,
+		HedgeAfter:     *hedgeAfter,
+		Scale:          *scale,
+		Seed:           *seed,
+		Local:          localSrv,
+		Health:         fleet.HealthConfig{Interval: *probeEvery},
+	}, trace.NewRegistry())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	q := *quorum
+	if q <= 0 {
+		q = len(list)/2 + 1
+	}
+	go func() {
+		fmt.Fprintf(os.Stderr, "fleetd: routing on %s over %d backends (quorum %d)\n",
+			rt.Addr(), len(list), q)
+	}()
+	if err := rt.Serve(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "fleetd: drained cleanly")
+}

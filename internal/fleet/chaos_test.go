@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fssim/internal/server"
+	"fssim/internal/trace"
+)
+
+// realBackend is one actual fssimd serving stack behind an httptest
+// listener, killable mid-test.
+type realBackend struct {
+	s  *server.Server
+	hs *httptest.Server
+}
+
+func newRealBackend(t *testing.T, cfg server.Config) *realBackend {
+	t.Helper()
+	b := &realBackend{s: server.New(cfg)}
+	b.hs = httptest.NewServer(b.s.Handler())
+	t.Cleanup(func() { b.hs.Close() })
+	return b
+}
+
+// kill simulates a SIGKILL: in-flight connections are torn down and the
+// listener stops accepting, so the router sees resets and refused connects —
+// no graceful drain, no goodbye.
+func (b *realBackend) kill() {
+	b.hs.CloseClientConnections()
+	b.hs.Close()
+}
+
+func chaosRequests() []string {
+	var out []string
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, mode := range []string{"full", "app"} {
+			out = append(out, fmt.Sprintf(
+				`{"benchmark":"fleet-ok","mode":%q,"scale":0.1,"seed":%d}`, mode, seed))
+		}
+	}
+	return out
+}
+
+// TestChaosKillOneOfThree is the acceptance scenario: three real backends
+// behind the router, a mixed run set, one backend killed abruptly — and
+// every request before and after the kill succeeds with a body
+// byte-identical to a single-node reference.
+func TestChaosKillOneOfThree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test runs real simulations")
+	}
+	cfg := server.Config{Scale: 1.0, Seed: 1, Workers: 2, Deadline: time.Minute}
+	backends := []*realBackend{
+		newRealBackend(t, cfg),
+		newRealBackend(t, cfg),
+		newRealBackend(t, cfg),
+	}
+	reference := newRealBackend(t, cfg)
+
+	urls := make([]string, len(backends))
+	for i, b := range backends {
+		urls[i] = b.hs.URL
+	}
+	rt, err := NewRouter(RouterConfig{
+		Backends: urls,
+		Health:   HealthConfig{Probe: alwaysHealthy},
+		Passes:   2,
+	}, trace.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := chaosRequests()
+	want := make([]string, len(reqs))
+	ids := make([]string, len(reqs))
+	for i, body := range reqs {
+		resp, err := http.Post(reference.hs.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference run %d: HTTP %d: %s", i, resp.StatusCode, buf.String())
+		}
+		want[i] = buf.String()
+		var rr server.RunResponse
+		if err := json.Unmarshal(buf.Bytes(), &rr); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = rr.ID
+	}
+
+	served := map[string]int{}
+	submitAll := func(phase string) {
+		t.Helper()
+		for i, body := range reqs {
+			rec := postRun(t, rt, body)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s: run %d: HTTP %d: %s", phase, i, rec.Code, rec.Body.String())
+			}
+			if rec.Body.String() != want[i] {
+				t.Fatalf("%s: run %d body diverged from the single-node reference:\n fleet: %s\n  ref: %s",
+					phase, i, rec.Body.String(), want[i])
+			}
+			served[rec.Header().Get("X-Fssim-Backend")]++
+		}
+	}
+	submitAll("before kill")
+	if len(served) < 2 {
+		t.Fatalf("run set landed on %d backends, want the ring to spread it (%v)", len(served), served)
+	}
+
+	// Kill the busiest backend without warning.
+	victimURL, victimN := "", -1
+	for u, n := range served {
+		if n > victimN {
+			victimURL, victimN = u, n
+		}
+	}
+	for _, b := range backends {
+		if b.hs.URL == victimURL {
+			b.kill()
+		}
+	}
+
+	submitAll("after kill")
+
+	// The completed runs stay fetchable through the router, still
+	// byte-identical, with the dead backend routed around.
+	for i, id := range ids {
+		rec := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/runs/"+id, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d: %s", id, rec.Code, rec.Body.String())
+		}
+		if rec.Body.String() != want[i] {
+			t.Fatalf("GET %s body diverged from the reference", id)
+		}
+	}
+
+	if rt.mMismatches.Value() != 0 {
+		t.Errorf("byte-identity mismatches = %d, want 0", rt.mMismatches.Value())
+	}
+	if rt.mFailovers.Value() == 0 {
+		t.Error("killing a backend should have produced failovers")
+	}
+	if rt.mDegraded.Value() != 0 {
+		t.Error("one dead backend of three must not push the fleet below quorum")
+	}
+}
+
+// TestFleetColdNodeWarmStartsViaGossip is the anti-entropy acceptance path:
+// node A learns a PLT from a real accelerated run; a cold node B imports the
+// snapshot via gossip alone and then replays the identical request warm —
+// byte-identical body, zero learning, one warm hit.
+func TestFleetColdNodeWarmStartsViaGossip(t *testing.T) {
+	ctx := context.Background()
+	cfg := func(dir string) server.Config {
+		return server.Config{Scale: 0.1, Seed: 1, Workers: 2, Deadline: time.Minute, WarmDir: dir}
+	}
+	accelBody := `{"benchmark":"fleet-ok","mode":"accel","scale":0.1,"seed":1}`
+
+	a := newRealBackend(t, cfg(t.TempDir()))
+	respA, err := http.Post(a.hs.URL+"/v1/runs", "application/json", strings.NewReader(accelBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bodyA bytes.Buffer
+	_, _ = bodyA.ReadFrom(respA.Body)
+	respA.Body.Close()
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("node A accel run: HTTP %d: %s", respA.StatusCode, bodyA.String())
+	}
+	if st := a.s.Scheduler().Stats(); st.WarmSaves != 1 {
+		t.Fatalf("node A saved %d snapshots, want 1", st.WarmSaves)
+	}
+
+	b := newRealBackend(t, cfg(t.TempDir()))
+	g, err := NewGossiper(GossipConfig{Peers: []string{a.hs.URL}},
+		b.s.Scheduler().WarmStore(), b.s.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := g.Cycle(ctx); n != 1 {
+		t.Fatalf("gossip imported %d snapshots, want 1", n)
+	}
+
+	respB, err := http.Post(b.hs.URL+"/v1/runs", "application/json", strings.NewReader(accelBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bodyB bytes.Buffer
+	_, _ = bodyB.ReadFrom(respB.Body)
+	respB.Body.Close()
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("node B accel run: HTTP %d: %s", respB.StatusCode, bodyB.String())
+	}
+	if !bytes.Equal(bodyA.Bytes(), bodyB.Bytes()) {
+		t.Errorf("warm replay diverged from the original run:\n A: %s\n B: %s", bodyA.String(), bodyB.String())
+	}
+	st := b.s.Scheduler().Stats()
+	if st.WarmHits != 1 || st.PLTLearned != 0 || st.WarmInvalid != 0 {
+		t.Errorf("node B stats = %+v, want exactly one warm hit and zero learning", st)
+	}
+}

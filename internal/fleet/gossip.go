@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"fssim/internal/pltstore"
+	"fssim/internal/server"
+	"fssim/internal/trace"
+)
+
+// GossipConfig tunes a node's anti-entropy loop.
+type GossipConfig struct {
+	// Peers are the other nodes' base URLs. An empty list makes the gossiper
+	// a no-op.
+	Peers []string
+	// Interval is the anti-entropy period (jittered ±25%). Default 5s.
+	Interval time.Duration
+	// MaxFetchPerCycle rate-limits how many snapshots one cycle pulls in
+	// (across all peers), so a cold node warms gradually instead of slamming
+	// its peers. Default 4.
+	MaxFetchPerCycle int
+	// MaxBytesPerCycle bounds one cycle's total transfer. Default
+	// 2×MaxSnapshotBytes.
+	MaxBytesPerCycle int64
+	// Retry is the per-request policy for peer fetches (zero = single-shot).
+	Retry server.RetryPolicy
+}
+
+func (c GossipConfig) normalized() GossipConfig {
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.MaxFetchPerCycle <= 0 {
+		c.MaxFetchPerCycle = 4
+	}
+	if c.MaxBytesPerCycle <= 0 {
+		c.MaxBytesPerCycle = 2 * pltstore.MaxSnapshotBytes
+	}
+	return c
+}
+
+// maxQuarantine bounds the quarantine set; beyond it the oldest entries are
+// evicted (at worst, an evicted bad object costs one more wasted fetch).
+const maxQuarantine = 1024
+
+// Gossiper is the PLT anti-entropy loop: each cycle it pulls every peer's
+// snapshot index, diffs it against the local store, fetches addresses it is
+// missing, and installs them only through pltstore.PutVerified — the full
+// checksum + structural decode + LearnHash-identity + semantic-validation
+// gauntlet. Bytes that fail any check are rejected, counted on
+// fleet.gossip.rejected, and the (peer, address) pair is quarantined so the
+// same bad object is never fetched from that peer again; the same address is
+// still fetchable from a different peer holding a good copy. Fetch volume is
+// rate-limited per cycle. The result: one node's learning warms the whole
+// fleet, and a corrupt or incompatible table is never imported anywhere.
+type Gossiper struct {
+	cfg     GossipConfig
+	store   *pltstore.Store
+	clients []*server.Client
+	peers   []string
+
+	mu      sync.Mutex
+	quar    map[string]bool // "peer|bench/hash"
+	quarSeq []string        // FIFO eviction order
+
+	mCycles    *trace.Counter
+	mImported  *trace.Counter
+	mRejected  *trace.Counter
+	mPeerErrs  *trace.Counter
+	mBytes     *trace.Counter
+	gQuarantine *trace.Gauge
+}
+
+// NewGossiper builds the anti-entropy loop for a node whose warm store is
+// store, registering fleet.gossip.* instruments on reg (nil = no-op).
+func NewGossiper(cfg GossipConfig, store *pltstore.Store, reg *trace.Registry) (*Gossiper, error) {
+	if store == nil {
+		return nil, errors.New("fleet: gossip needs a snapshot store")
+	}
+	cfg = cfg.normalized()
+	g := &Gossiper{
+		cfg:         cfg,
+		store:       store,
+		quar:        make(map[string]bool),
+		mCycles:     reg.Counter("fleet.gossip.cycles"),
+		mImported:   reg.Counter("fleet.gossip.imported"),
+		mRejected:   reg.Counter("fleet.gossip.rejected"),
+		mPeerErrs:   reg.Counter("fleet.gossip.peer_errors"),
+		mBytes:      reg.Counter("fleet.gossip.bytes"),
+		gQuarantine: reg.Gauge("fleet.gossip.quarantined"),
+	}
+	for _, p := range cfg.Peers {
+		if p == "" {
+			continue
+		}
+		g.peers = append(g.peers, p)
+		g.clients = append(g.clients, server.NewClient(p).WithRetry(cfg.Retry))
+	}
+	return g, nil
+}
+
+// Quarantined reports whether the (peer, address) pair has been quarantined
+// (exposed for tests and status surfaces).
+func (g *Gossiper) Quarantined(peer, addr string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.quar[peer+"|"+addr]
+}
+
+// QuarantineLen returns the current quarantine population.
+func (g *Gossiper) QuarantineLen() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.quar)
+}
+
+func (g *Gossiper) quarantine(peer, addr string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	k := peer + "|" + addr
+	if g.quar[k] {
+		return
+	}
+	if len(g.quarSeq) >= maxQuarantine {
+		delete(g.quar, g.quarSeq[0])
+		g.quarSeq = g.quarSeq[1:]
+	}
+	g.quar[k] = true
+	g.quarSeq = append(g.quarSeq, k)
+	g.gQuarantine.Set(int64(len(g.quar)))
+}
+
+// Cycle runs one anti-entropy round and returns how many snapshots it
+// imported. Errors talking to a peer skip that peer (it may simply be down);
+// errors verifying fetched bytes reject and quarantine the object.
+func (g *Gossiper) Cycle(ctx context.Context) int {
+	g.mCycles.Add(1)
+	imported := 0
+	fetched := 0
+	var bytesIn int64
+	for i, c := range g.clients {
+		peer := g.peers[i]
+		if ctx.Err() != nil {
+			return imported
+		}
+		idx, err := c.PLTIndex(ctx)
+		if err != nil {
+			g.mPeerErrs.Add(1)
+			continue
+		}
+		for _, e := range idx {
+			if ctx.Err() != nil {
+				return imported
+			}
+			if fetched >= g.cfg.MaxFetchPerCycle || bytesIn >= g.cfg.MaxBytesPerCycle {
+				return imported // budget spent; next cycle continues
+			}
+			addr := e.Addr()
+			if g.Quarantined(peer, addr) {
+				continue
+			}
+			// A malformed or oversize advertisement is rejected before any
+			// fetch: the index itself is untrusted input.
+			h, perr := pltstore.ParseHash(e.LearnHash)
+			if perr != nil || e.Benchmark == "" || e.Size <= 0 || e.Size > pltstore.MaxSnapshotBytes {
+				g.mRejected.Add(1)
+				g.quarantine(peer, addr)
+				continue
+			}
+			if g.store.Has(e.Benchmark, h) {
+				continue // already local (identity is content-derived; no versions to reconcile)
+			}
+			data, ferr := c.SnapshotAt(ctx, e.Benchmark, e.LearnHash)
+			fetched++
+			if ferr != nil {
+				if errors.Is(ferr, server.ErrSnapshotOversize) {
+					// The peer sent more bytes than it advertised: hostile or
+					// broken either way.
+					g.mRejected.Add(1)
+					g.quarantine(peer, addr)
+					continue
+				}
+				var ae *server.APIError
+				if errors.As(ferr, &ae) && ae.StatusCode == http.StatusNotFound {
+					// Advertised then lost (pruned, or the peer detected its
+					// own corruption): not hostile, just stale. Skip.
+					continue
+				}
+				g.mPeerErrs.Add(1)
+				continue
+			}
+			bytesIn += int64(len(data))
+			if _, verr := g.store.PutVerified(e.Benchmark, h, data); verr != nil {
+				// Truncated, corrupt, mis-addressed or semantically invalid:
+				// never installed, counted, and never fetched from this peer
+				// again.
+				g.mRejected.Add(1)
+				g.quarantine(peer, addr)
+				continue
+			}
+			g.mBytes.Add(int64(len(data)))
+			g.mImported.Add(1)
+			imported++
+		}
+	}
+	return imported
+}
+
+// Run cycles until ctx is canceled, jittering the interval ±25% so a fleet's
+// gossip rounds de-synchronize.
+func (g *Gossiper) Run(ctx context.Context) {
+	if len(g.clients) == 0 {
+		return
+	}
+	for {
+		g.Cycle(ctx)
+		jitter := time.Duration((rand.Float64() - 0.5) * 0.5 * float64(g.cfg.Interval))
+		select {
+		case <-time.After(g.cfg.Interval + jitter):
+		case <-ctx.Done():
+			return
+		}
+	}
+}

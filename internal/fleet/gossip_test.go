@@ -1,0 +1,279 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+
+	"fssim/internal/core"
+	"fssim/internal/isa"
+	"fssim/internal/machine"
+	"fssim/internal/pltstore"
+	"fssim/internal/server"
+	"fssim/internal/trace"
+)
+
+// gossipState drives an accelerator through a deterministic mixed workload
+// via its public sink interface, so the exported state populates every
+// snapshot field — the same shape pltstore's own tests use.
+func gossipState() *core.AccelState {
+	p := core.DefaultParams()
+	p.LearnWindow = 12
+	p.WarmupSkip = 2
+	a := core.NewAccelerator(p)
+	svcs := []isa.ServiceID{isa.Sys(isa.SysRead), isa.Sys(isa.SysWrite), isa.Sys(isa.SysOpen)}
+	bases := []uint64{1000, 4000, 250}
+	for step := 0; step < 400; step++ {
+		i := step % len(svcs)
+		insts := bases[i] + uint64(step%7)
+		svc := svcs[i]
+		sig := machine.Signature{Insts: insts, Loads: insts / 4, Stores: insts / 8, Branches: insts / 5}
+		detailed, _ := a.OnServiceStart(svc)
+		if detailed {
+			a.OnServiceEnd(svc, sig, &machine.Measurement{Insts: insts, Cycles: insts * 5})
+		} else {
+			a.OnServiceEnd(svc, sig, nil)
+		}
+	}
+	return a.Export()
+}
+
+// gossipSnapshot builds a valid snapshot for bench, returning it and its
+// encoded bytes.
+func gossipSnapshot(bench string) (*pltstore.Snapshot, []byte) {
+	st := gossipState()
+	lh := pltstore.LearnHash(bench, machine.Config{}, st.Params, 0.1, "")
+	key := bench + "/accel/L2=1048576/scale=0.1"
+	snap := &pltstore.Snapshot{
+		LearnHash:  lh,
+		ReplayHash: pltstore.ReplayHash(lh, key, 42),
+		Benchmark:  bench,
+		Key:        key,
+		Stats:      machine.Stats{Cycles: 1000, Insts: 900, Intervals: 42},
+		State:      st,
+	}
+	return snap, pltstore.Encode(snap)
+}
+
+// TestGossipSpreadsVerifiedSnapshots: a cold node pulls a warm peer's
+// snapshots through the real server endpoints, verifies them, and lands
+// byte-identical files — the fleet-wide warm-start path.
+func TestGossipSpreadsVerifiedSnapshots(t *testing.T) {
+	warmDir := t.TempDir()
+	warmStore := pltstore.Open(warmDir)
+	var want [][]byte
+	for _, bench := range []string{"fleet-g1", "fleet-g2"} {
+		snap, data := gossipSnapshot(bench)
+		if _, err := warmStore.PutVerified(bench, snap.LearnHash, data); err != nil {
+			t.Fatalf("seeding peer store: %v", err)
+		}
+		want = append(want, data)
+	}
+	peer := httptest.NewServer(server.New(server.Config{WarmDir: warmDir}).Handler())
+	t.Cleanup(peer.Close)
+
+	coldDir := t.TempDir()
+	cold := pltstore.Open(coldDir)
+	reg := trace.NewRegistry()
+	g, err := NewGossiper(GossipConfig{Peers: []string{peer.URL}}, cold, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := g.Cycle(context.Background()); n != 2 {
+		t.Fatalf("first cycle imported %d snapshots, want 2", n)
+	}
+	idx, err := cold.Index()
+	if err != nil || len(idx) != 2 {
+		t.Fatalf("cold index = %v (%v), want 2 valid entries", idx, err)
+	}
+	for i, e := range idx {
+		h, _ := pltstore.ParseHash(e.LearnHash)
+		got, rerr := os.ReadFile(cold.Path(e.Benchmark, h))
+		if rerr != nil || !bytes.Equal(got, want[i]) {
+			t.Errorf("imported %s is not byte-identical to the peer's copy (err %v)", e.Addr(), rerr)
+		}
+	}
+	if g.mRejected.Value() != 0 || g.QuarantineLen() != 0 {
+		t.Errorf("clean gossip rejected %d / quarantined %d, want 0/0",
+			g.mRejected.Value(), g.QuarantineLen())
+	}
+	// A second cycle is a no-op: everything is already local.
+	if n := g.Cycle(context.Background()); n != 0 {
+		t.Errorf("second cycle imported %d, want 0", n)
+	}
+}
+
+// hostilePeer serves a scripted index and scripted snapshot bodies, counting
+// every fetch per address.
+type hostilePeer struct {
+	srv    *httptest.Server
+	index  []pltstore.IndexEntry
+	bodies map[string][]byte // "bench/hash" -> served bytes
+
+	mu      sync.Mutex
+	fetches map[string]int
+}
+
+func newHostilePeer(t *testing.T) *hostilePeer {
+	t.Helper()
+	p := &hostilePeer{bodies: map[string][]byte{}, fetches: map[string]int{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/plt", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Snapshots []pltstore.IndexEntry `json:"snapshots"`
+		}{p.index})
+	})
+	mux.HandleFunc("GET /v1/plt/{benchmark}/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		addr := r.PathValue("benchmark") + "/" + r.PathValue("hash")
+		p.mu.Lock()
+		p.fetches[addr]++
+		p.mu.Unlock()
+		body, ok := p.bodies[addr]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = w.Write(body)
+	})
+	p.srv = httptest.NewServer(mux)
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+func (p *hostilePeer) fetchCount(addr string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fetches[addr]
+}
+
+// TestGossipRejectsHostileInputs is the hostile-input battery: a truncated
+// snapshot, a flipped checksum byte, a LearnHash-incompatible snapshot, an
+// oversize body, and malformed advertisements. None may be installed, each
+// is counted on fleet.gossip.rejected, and each bad object is fetched at
+// most once (quarantine).
+func TestGossipRejectsHostileInputs(t *testing.T) {
+	peer := newHostilePeer(t)
+
+	// Malformed advertisements: rejected before any fetch happens.
+	peer.index = append(peer.index,
+		pltstore.IndexEntry{Benchmark: "h-badhash", LearnHash: "zzz", Size: 100},
+		pltstore.IndexEntry{Benchmark: "h-toolarge", LearnHash: pltstore.FormatHash(1), Size: pltstore.MaxSnapshotBytes + 1},
+	)
+
+	// Truncated bytes under a truthful address.
+	snapT, dataT := gossipSnapshot("h-trunc")
+	addrT := "h-trunc/" + pltstore.FormatHash(snapT.LearnHash)
+	peer.bodies[addrT] = dataT[:len(dataT)-10]
+	peer.index = append(peer.index, pltstore.IndexEntry{
+		Benchmark: "h-trunc", LearnHash: pltstore.FormatHash(snapT.LearnHash), Size: int64(len(dataT) - 10)})
+
+	// One flipped byte: the checksum-first decode must catch it.
+	snapF, dataF := gossipSnapshot("h-flip")
+	corrupt := append([]byte(nil), dataF...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	addrF := "h-flip/" + pltstore.FormatHash(snapF.LearnHash)
+	peer.bodies[addrF] = corrupt
+	peer.index = append(peer.index, pltstore.IndexEntry{
+		Benchmark: "h-flip", LearnHash: pltstore.FormatHash(snapF.LearnHash), Size: int64(len(corrupt))})
+
+	// A perfectly valid snapshot advertised under a different LearnHash — a
+	// config-incompatible table must never be installed under a compatible
+	// address.
+	snapW, dataW := gossipSnapshot("h-wrongaddr")
+	wrongHash := pltstore.FormatHash(snapW.LearnHash + 1)
+	addrW := "h-wrongaddr/" + wrongHash
+	peer.bodies[addrW] = dataW
+	peer.index = append(peer.index, pltstore.IndexEntry{
+		Benchmark: "h-wrongaddr", LearnHash: wrongHash, Size: int64(len(dataW))})
+
+	// Advertised small, served enormous: the size cap must trip mid-fetch.
+	snapO, _ := gossipSnapshot("h-oversize")
+	addrO := "h-oversize/" + pltstore.FormatHash(snapO.LearnHash)
+	peer.bodies[addrO] = bytes.Repeat([]byte{0xF5}, pltstore.MaxSnapshotBytes+1)
+	peer.index = append(peer.index, pltstore.IndexEntry{
+		Benchmark: "h-oversize", LearnHash: pltstore.FormatHash(snapO.LearnHash), Size: 4096})
+
+	coldDir := t.TempDir()
+	cold := pltstore.Open(coldDir)
+	g, err := NewGossiper(GossipConfig{Peers: []string{peer.srv.URL}}, cold, trace.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if n := g.Cycle(context.Background()); n != 0 {
+			t.Fatalf("cycle %d imported %d hostile snapshots", i, n)
+		}
+	}
+
+	if idx, _ := cold.Index(); len(idx) != 0 {
+		t.Fatalf("hostile bytes were installed: %v", idx)
+	}
+	if entries, _ := os.ReadDir(coldDir); len(entries) != 0 {
+		t.Fatalf("hostile bytes left files behind: %v", entries)
+	}
+	if got := g.mRejected.Value(); got != 6 {
+		t.Errorf("fleet.gossip.rejected = %d, want 6 (4 fetched + 2 malformed adverts)", got)
+	}
+	if got := g.QuarantineLen(); got != 6 {
+		t.Errorf("quarantine population = %d, want 6", got)
+	}
+	for _, addr := range []string{addrT, addrF, addrW, addrO} {
+		if n := peer.fetchCount(addr); n != 1 {
+			t.Errorf("hostile object %s fetched %d times across 3 cycles, want exactly 1 (quarantine)", addr, n)
+		}
+		if !g.Quarantined(peer.srv.URL, addr) {
+			t.Errorf("%s not quarantined", addr)
+		}
+	}
+}
+
+// TestGossipCorruptPeerDoesNotPoisonGoodAddress: quarantine is per (peer,
+// object) — a corrupt peer serving garbage at an address does not stop the
+// node from importing the good copy another peer holds, and the corrupt
+// bytes are never installed.
+func TestGossipCorruptPeerDoesNotPoisonGoodAddress(t *testing.T) {
+	snap, data := gossipSnapshot("fleet-dual")
+	hash := pltstore.FormatHash(snap.LearnHash)
+	addr := "fleet-dual/" + hash
+	entry := pltstore.IndexEntry{Benchmark: "fleet-dual", LearnHash: hash, Size: int64(len(data))}
+
+	corruptPeer := newHostilePeer(t)
+	bad := append([]byte(nil), data...)
+	bad[10] ^= 0x01
+	corruptPeer.bodies[addr] = bad
+	corruptPeer.index = []pltstore.IndexEntry{entry}
+
+	goodPeer := newHostilePeer(t)
+	goodPeer.bodies[addr] = data
+	goodPeer.index = []pltstore.IndexEntry{entry}
+
+	cold := pltstore.Open(t.TempDir())
+	// Corrupt peer listed first: it is tried, rejected, quarantined — and
+	// then the good peer supplies the same address.
+	g, err := NewGossiper(GossipConfig{
+		Peers: []string{corruptPeer.srv.URL, goodPeer.srv.URL},
+	}, cold, trace.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := g.Cycle(context.Background()); n != 1 {
+		t.Fatalf("imported %d, want 1 (the good copy)", n)
+	}
+	got, err := os.ReadFile(cold.Path("fleet-dual", snap.LearnHash))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("installed bytes are not the good peer's copy (err %v)", err)
+	}
+	if g.mRejected.Value() != 1 || !g.Quarantined(corruptPeer.srv.URL, addr) {
+		t.Errorf("corrupt peer: rejected=%d quarantined=%v, want 1/true",
+			g.mRejected.Value(), g.Quarantined(corruptPeer.srv.URL, addr))
+	}
+	if g.Quarantined(goodPeer.srv.URL, addr) {
+		t.Error("good peer was quarantined")
+	}
+}

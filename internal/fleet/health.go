@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fssim/internal/trace"
+)
+
+// HealthConfig tunes backend health tracking and the active probe loop.
+type HealthConfig struct {
+	// FailThreshold ejects a backend after this many consecutive failures
+	// (probe or traffic). Default 3.
+	FailThreshold int
+	// RecoverThreshold readmits an ejected backend after this many
+	// consecutive successes. Default 2.
+	RecoverThreshold int
+	// Window is the per-backend outcome ring consulted for outlier ejection:
+	// a backend whose windowed failure rate reaches EjectRate is ejected even
+	// if its failures never run consecutively. Default 20.
+	Window int
+	// EjectRate is the windowed failure-rate ejection threshold in (0, 1].
+	// Default 0.5.
+	EjectRate float64
+	// Interval is the active probe period (jittered ±25%). Default 1s.
+	Interval time.Duration
+	// Probe checks one backend, typically a /readyz fetch: nil error means
+	// the backend is admitting work (a draining or erroring node fails).
+	Probe func(ctx context.Context, backend string) error
+}
+
+func (c HealthConfig) normalized() HealthConfig {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.RecoverThreshold <= 0 {
+		c.RecoverThreshold = 2
+	}
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.EjectRate <= 0 || c.EjectRate > 1 {
+		c.EjectRate = 0.5
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	return c
+}
+
+// Health tracks per-backend availability from two evidence streams — active
+// /readyz probes and passive traffic outcomes the router reports — and
+// decides ejection. Ejection is sticky: an ejected backend keeps its ring
+// arc but is skipped by routing until RecoverThreshold consecutive successes
+// (normally from the probe loop, which keeps probing ejected backends)
+// readmit it. All methods are safe for concurrent use.
+type Health struct {
+	cfg HealthConfig
+
+	mu     sync.Mutex
+	states map[string]*backendState
+
+	mEjections   *trace.Counter
+	mReadmits    *trace.Counter
+	mProbeFails  *trace.Counter
+	gHealthy     *trace.Gauge
+}
+
+type backendState struct {
+	ejected    bool
+	consecFail int
+	consecOK   int
+	// Outcome ring for outlier ejection: true = failure.
+	win    []bool
+	wpos   int
+	wlen   int
+	wfails int
+}
+
+// NewHealth builds a tracker for the given backends, registering its
+// fleet.backend.* instruments on reg (nil is fine: instruments no-op).
+func NewHealth(cfg HealthConfig, reg *trace.Registry, backends ...string) *Health {
+	cfg = cfg.normalized()
+	h := &Health{
+		cfg:         cfg,
+		states:      make(map[string]*backendState, len(backends)),
+		mEjections:  reg.Counter("fleet.backend.ejections"),
+		mReadmits:   reg.Counter("fleet.backend.readmissions"),
+		mProbeFails: reg.Counter("fleet.backend.probe_failures"),
+		gHealthy:    reg.Gauge("fleet.backend.healthy"),
+	}
+	for _, b := range backends {
+		h.states[b] = &backendState{win: make([]bool, cfg.Window)}
+	}
+	h.gHealthy.Set(int64(len(h.states)))
+	return h
+}
+
+// ReportOK records one successful interaction with the backend.
+func (h *Health) ReportOK(backend string) { h.report(backend, false) }
+
+// ReportFail records one failed interaction (connect error, 5xx, deadline,
+// or failed probe) with the backend.
+func (h *Health) ReportFail(backend string) { h.report(backend, true) }
+
+func (h *Health) report(backend string, failed bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.states[backend]
+	if st == nil {
+		return // not a configured backend
+	}
+	// Slide the outcome window.
+	if st.wlen == len(st.win) {
+		if st.win[st.wpos] {
+			st.wfails--
+		}
+	} else {
+		st.wlen++
+	}
+	st.win[st.wpos] = failed
+	if failed {
+		st.wfails++
+	}
+	st.wpos = (st.wpos + 1) % len(st.win)
+
+	if failed {
+		st.consecFail++
+		st.consecOK = 0
+		h.mProbeFails.Add(1)
+		if !st.ejected && h.isOutlierLocked(st) {
+			st.ejected = true
+			h.mEjections.Add(1)
+			h.updateHealthyGaugeLocked()
+		}
+		return
+	}
+	st.consecOK++
+	st.consecFail = 0
+	if st.ejected && st.consecOK >= h.cfg.RecoverThreshold {
+		st.ejected = false
+		// A readmitted backend starts with a clean window: its ejected-era
+		// failures must not immediately re-eject it.
+		st.wlen, st.wpos, st.wfails = 0, 0, 0
+		h.mReadmits.Add(1)
+		h.updateHealthyGaugeLocked()
+	}
+}
+
+// isOutlierLocked is the ejection decision: a run of consecutive failures,
+// or a windowed failure rate at/above EjectRate once the window has enough
+// evidence (half full) to call the backend an outlier rather than unlucky.
+func (h *Health) isOutlierLocked(st *backendState) bool {
+	if st.consecFail >= h.cfg.FailThreshold {
+		return true
+	}
+	if st.wlen*2 >= h.cfg.Window &&
+		float64(st.wfails) >= h.cfg.EjectRate*float64(st.wlen) {
+		return true
+	}
+	return false
+}
+
+func (h *Health) updateHealthyGaugeLocked() {
+	n := 0
+	for _, st := range h.states {
+		if !st.ejected {
+			n++
+		}
+	}
+	h.gHealthy.Set(int64(n))
+}
+
+// Healthy reports whether the backend is currently admitted by routing.
+func (h *Health) Healthy(backend string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.states[backend]
+	return st != nil && !st.ejected
+}
+
+// HealthyCount returns how many backends are currently admitted.
+func (h *Health) HealthyCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, st := range h.states {
+		if !st.ejected {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns each backend's admitted/ejected state, for status bodies.
+func (h *Health) Snapshot() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]bool, len(h.states))
+	for b, st := range h.states {
+		out[b] = !st.ejected
+	}
+	return out
+}
+
+// ProbeAll actively probes every backend once (including ejected ones — the
+// probe loop is how they earn readmission) and reports the outcomes.
+func (h *Health) ProbeAll(ctx context.Context) {
+	if h.cfg.Probe == nil {
+		return
+	}
+	h.mu.Lock()
+	backends := make([]string, 0, len(h.states))
+	for b := range h.states {
+		backends = append(backends, b)
+	}
+	h.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, b := range backends {
+		wg.Add(1)
+		go func(b string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, h.cfg.Interval)
+			defer cancel()
+			if err := h.cfg.Probe(pctx, b); err != nil {
+				h.ReportFail(b)
+			} else {
+				h.ReportOK(b)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// Run probes all backends every Interval (jittered ±25% so a fleet of
+// routers does not synchronize its probes) until ctx is canceled.
+func (h *Health) Run(ctx context.Context) {
+	for {
+		h.ProbeAll(ctx)
+		jitter := time.Duration((rand.Float64() - 0.5) * 0.5 * float64(h.cfg.Interval))
+		select {
+		case <-time.After(h.cfg.Interval + jitter):
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fssim/internal/trace"
+)
+
+func TestHealthConsecutiveFailureEjection(t *testing.T) {
+	reg := trace.NewRegistry()
+	h := NewHealth(HealthConfig{}, reg, "a", "b")
+	if !h.Healthy("a") || h.HealthyCount() != 2 {
+		t.Fatal("backends should start healthy")
+	}
+	h.ReportFail("a")
+	h.ReportFail("a")
+	if !h.Healthy("a") {
+		t.Fatal("two failures must not eject (threshold 3)")
+	}
+	h.ReportFail("a")
+	if h.Healthy("a") {
+		t.Fatal("three consecutive failures must eject")
+	}
+	if h.HealthyCount() != 1 || h.Healthy("b") != true {
+		t.Errorf("only a should be ejected: count=%d", h.HealthyCount())
+	}
+
+	// One success is not enough to readmit; two are.
+	h.ReportOK("a")
+	if h.Healthy("a") {
+		t.Fatal("one success must not readmit (threshold 2)")
+	}
+	h.ReportOK("a")
+	if !h.Healthy("a") {
+		t.Fatal("two consecutive successes must readmit")
+	}
+	// Readmission cleared the window: one stale failure must not re-eject.
+	h.ReportFail("a")
+	if !h.Healthy("a") {
+		t.Fatal("single post-readmission failure re-ejected; window was not cleared")
+	}
+}
+
+// TestHealthWindowedOutlierEjection: failures that never run 3-consecutive
+// still eject once the windowed failure rate crosses EjectRate.
+func TestHealthWindowedOutlierEjection(t *testing.T) {
+	h := NewHealth(HealthConfig{Window: 10, EjectRate: 0.5}, nil, "a")
+	for i := 0; i < 5; i++ {
+		h.ReportFail("a")
+		h.ReportOK("a")
+		h.ReportOK("a") // resets consecFail; rate 1/3 < 0.5
+	}
+	if !h.Healthy("a") {
+		t.Fatal("33% failure rate should not eject at EjectRate 0.5")
+	}
+	h2 := NewHealth(HealthConfig{Window: 10, EjectRate: 0.5}, nil, "b")
+	// Alternate fail/ok: rate 50%, never 2 consecutive failures.
+	for i := 0; i < 6; i++ {
+		h2.ReportFail("b")
+		h2.ReportOK("b")
+	}
+	if h2.Healthy("b") {
+		t.Fatal("sustained 50% failure rate must eject as an outlier")
+	}
+}
+
+func TestHealthIgnoresUnknownBackend(t *testing.T) {
+	h := NewHealth(HealthConfig{}, nil, "a")
+	h.ReportFail("ghost")
+	h.ReportOK("ghost")
+	if h.Healthy("ghost") {
+		t.Error("unknown backend must not be healthy")
+	}
+	if h.HealthyCount() != 1 {
+		t.Errorf("count = %d, want 1", h.HealthyCount())
+	}
+}
+
+// TestHealthProbeLoop: active probes eject a failing backend and readmit it
+// when the probe recovers — including while ejected (probes keep flowing).
+func TestHealthProbeLoop(t *testing.T) {
+	var down atomic.Bool
+	h := NewHealth(HealthConfig{
+		Probe: func(ctx context.Context, backend string) error {
+			if backend == "bad" && down.Load() {
+				return errors.New("probe: connection refused")
+			}
+			return nil
+		},
+		Interval: 10 * time.Millisecond,
+	}, trace.NewRegistry(), "good", "bad")
+
+	ctx := context.Background()
+	down.Store(true)
+	for i := 0; i < 3; i++ {
+		h.ProbeAll(ctx)
+	}
+	if h.Healthy("bad") || !h.Healthy("good") {
+		t.Fatalf("after 3 failed probes: bad=%v good=%v, want ejected/healthy",
+			h.Healthy("bad"), h.Healthy("good"))
+	}
+	down.Store(false)
+	h.ProbeAll(ctx)
+	h.ProbeAll(ctx)
+	if !h.Healthy("bad") {
+		t.Fatal("recovered backend must be readmitted by the probe loop")
+	}
+	snap := h.Snapshot()
+	if !snap["bad"] || !snap["good"] {
+		t.Errorf("snapshot = %v", snap)
+	}
+}

@@ -1,0 +1,124 @@
+// Package fleet turns N independent fssimd processes into one fault-tolerant
+// simulation service: a consistent-hash routing tier that shards the
+// RunKey-addressed memo cache across backends (instead of duplicating it), a
+// health layer that probes /readyz and ejects outlier backends, failover
+// routing that exploits the system's core invariant — responses are a pure,
+// byte-identical function of the normalized request, so any retry against
+// any node is safe — and an anti-entropy gossip protocol that spreads
+// learned PLT snapshots between nodes under full re-verification, so one
+// node's learning warms the whole fleet without a corrupt or incompatible
+// table ever being imported.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is an immutable consistent-hash ring: each member contributes a fixed
+// number of virtual points, and a key is owned by the first point clockwise
+// from its hash. Membership is the configured backend set, not the live one —
+// an unhealthy backend keeps its arc (the router skips it at lookup time via
+// the Sequence preference order), so keys return to their home shard the
+// moment the node recovers instead of reshuffling twice.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // distinct members, sorted
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultReplicas is the virtual-point count per member: enough that three
+// nodes split the keyspace within a few percent of evenly.
+const DefaultReplicas = 128
+
+// NewRing builds a ring over the given members with replicas virtual points
+// each (<= 0 means DefaultReplicas). Duplicate members are collapsed.
+func NewRing(replicas int, members ...string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.nodes = append(r.nodes, m)
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", m, i)), node: m})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node // deterministic tie-break on (vanishing) collisions
+	})
+	return r
+}
+
+// Nodes returns the ring's members, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the key's home node ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	seq := r.Sequence(key, 1)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// Sequence returns up to n distinct members in the key's preference order:
+// the home node first, then each successive distinct node clockwise. This is
+// the failover order — when the home node is ejected or errors, the request
+// moves to the next ring node, and every key not homed on the dead node
+// keeps its owner (minimal movement, the consistent-hashing property).
+func (r *Ring) Sequence(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// ringHash is FNV-1a with a splitmix64-style finalizer. FNV alone has weak
+// avalanche in its low bytes, so near-identical keys (run ids share a long
+// prefix) cluster onto one arc and defeat the ring's balance; the finalizer
+// spreads them across the whole 64-bit circle. Stable across processes —
+// placement must agree between routers.
+func ringHash(s string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingOwnerDeterministicAndStable(t *testing.T) {
+	a := NewRing(0, "http://n1", "http://n2", "http://n3")
+	b := NewRing(0, "http://n3", "http://n1", "http://n2", "http://n2") // order + dupes irrelevant
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("ring sizes = %d, %d, want 3", a.Len(), b.Len())
+	}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("r%016x", i*7919)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owner differs across construction orders (%s vs %s)", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingSequenceDistinctAndOwnerFirst(t *testing.T) {
+	r := NewRing(0, "http://n1", "http://n2", "http://n3")
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		seq := r.Sequence(k, 3)
+		if len(seq) != 3 {
+			t.Fatalf("key %s: sequence length %d, want 3", k, len(seq))
+		}
+		if seq[0] != r.Owner(k) {
+			t.Errorf("key %s: sequence[0] = %s, owner = %s", k, seq[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("key %s: duplicate node %s in sequence %v", k, n, seq)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Sequence("k", 10); len(got) != 3 {
+		t.Errorf("over-asking returned %d nodes, want 3", len(got))
+	}
+	if got := r.Sequence("k", 0); got != nil {
+		t.Errorf("n=0 returned %v, want nil", got)
+	}
+}
+
+// TestRingBalance: with DefaultReplicas virtual points, three nodes each own
+// a sane share of the keyspace (no node starved or dominant).
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0, "http://n1", "http://n2", "http://n3")
+	counts := map[string]int{}
+	const keys = 9000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("r%016x", i))]++
+	}
+	for n, c := range counts {
+		share := float64(c) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %s owns %.1f%% of keys, want a sane share (counts %v)", n, 100*share, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing property the failover
+// design depends on: removing one member only moves the keys it owned.
+func TestRingMinimalMovement(t *testing.T) {
+	full := NewRing(0, "http://n1", "http://n2", "http://n3")
+	reduced := NewRing(0, "http://n1", "http://n2")
+	moved := 0
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("r%016x", i)
+		before := full.Owner(k)
+		after := reduced.Owner(k)
+		if before != "http://n3" && before != after {
+			t.Fatalf("key %s moved from surviving node %s to %s", k, before, after)
+		}
+		if before == "http://n3" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed node; balance test should have caught this")
+	}
+}
+
+// TestRingFailoverMatchesReducedRing: the Sequence-based failover target for
+// a dead node's keys is (statistically) the node a ring without that member
+// would pick — i.e. skipping at lookup equals removal, without reshuffling
+// survivors.
+func TestRingFailoverMatchesReducedRing(t *testing.T) {
+	full := NewRing(0, "http://n1", "http://n2", "http://n3")
+	reduced := NewRing(0, "http://n1", "http://n2")
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("r%016x", i)
+		seq := full.Sequence(k, 3)
+		// Simulate n3 ejected: first non-n3 entry is the failover target.
+		var target string
+		for _, n := range seq {
+			if n != "http://n3" {
+				target = n
+				break
+			}
+		}
+		if target != reduced.Owner(k) {
+			t.Fatalf("key %s: skip-based target %s != reduced-ring owner %s", k, target, reduced.Owner(k))
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if r.Owner("k") != "" || r.Sequence("k", 2) != nil || r.Len() != 0 {
+		t.Error("empty ring should own nothing")
+	}
+	if got := NewRing(0, "a", "b").Nodes(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Nodes() = %v", got)
+	}
+}

@@ -1,0 +1,353 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fssim/internal/kernel"
+	"fssim/internal/server"
+	"fssim/internal/trace"
+	"fssim/internal/workload"
+)
+
+// fleet-ok is the hidden benchmark fleet tests simulate: small and
+// well-behaved, invisible to real experiments.
+func init() {
+	workload.Register(workload.Benchmark{
+		Name: "fleet-ok", Hidden: true,
+		Description: "small well-behaved fleet-test workload",
+	}, func(k *kernel.Kernel, scale float64) {
+		k.Spawn("ok", func(p *kernel.Proc) { p.U.Mix(20_000) })
+	})
+}
+
+// fakeBackend is a scriptable fssimd stand-in: it serves a constant run body
+// (so byte-identity holds across backends) and can be flipped into failure.
+type fakeBackend struct {
+	srv      *httptest.Server
+	served   atomic.Int64
+	failWith atomic.Int64 // 0 = healthy; else that HTTP status
+}
+
+func newFakeBackend(t *testing.T, body string) *fakeBackend {
+	t.Helper()
+	b := &fakeBackend{}
+	b.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if code := b.failWith.Load(); code != 0 {
+			http.Error(w, `{"error":"scripted failure"}`, int(code))
+			return
+		}
+		b.served.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, body)
+	}))
+	t.Cleanup(b.srv.Close)
+	return b
+}
+
+func alwaysHealthy(context.Context, string) error { return nil }
+
+func newTestRouter(t *testing.T, cfg RouterConfig) *Router {
+	t.Helper()
+	if cfg.Health.Probe == nil {
+		cfg.Health.Probe = alwaysHealthy
+	}
+	rt, err := NewRouter(cfg, trace.NewRegistry())
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	return rt
+}
+
+func submitBody() string {
+	return `{"benchmark":"fleet-ok","mode":"full","scale":0.1,"seed":7}`
+}
+
+func postRun(t *testing.T, rt *Router, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/runs", strings.NewReader(body))
+	rt.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestRouterShardsConsistently: identical submits land on one backend (its
+// shard), and the placement is the ring's.
+func TestRouterShardsConsistently(t *testing.T) {
+	bks := []*fakeBackend{
+		newFakeBackend(t, `{"id":"r1"}`),
+		newFakeBackend(t, `{"id":"r1"}`),
+		newFakeBackend(t, `{"id":"r1"}`),
+	}
+	urls := []string{bks[0].srv.URL, bks[1].srv.URL, bks[2].srv.URL}
+	rt := newTestRouter(t, RouterConfig{Backends: urls})
+
+	for i := 0; i < 4; i++ {
+		rec := postRun(t, rt, submitBody())
+		if rec.Code != http.StatusOK {
+			t.Fatalf("submit %d: HTTP %d: %s", i, rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("X-Fssim-Fleet"); got != "routed" {
+			t.Errorf("X-Fssim-Fleet = %q, want routed", got)
+		}
+	}
+	total, nonzero := int64(0), 0
+	for _, b := range bks {
+		n := b.served.Load()
+		total += n
+		if n > 0 {
+			nonzero++
+		}
+	}
+	if total != 4 || nonzero != 1 {
+		t.Fatalf("4 identical submits hit %d backends (%d requests total), want exactly 1",
+			nonzero, total)
+	}
+}
+
+// TestRouterFailoverOn5xx: the home backend turning 500 moves the request to
+// the next ring node; the client still sees 200.
+func TestRouterFailoverOn5xx(t *testing.T) {
+	bks := []*fakeBackend{
+		newFakeBackend(t, `{"id":"r1"}`),
+		newFakeBackend(t, `{"id":"r1"}`),
+		newFakeBackend(t, `{"id":"r1"}`),
+	}
+	urls := []string{bks[0].srv.URL, bks[1].srv.URL, bks[2].srv.URL}
+	rt := newTestRouter(t, RouterConfig{Backends: urls})
+
+	if rec := postRun(t, rt, submitBody()); rec.Code != http.StatusOK {
+		t.Fatalf("baseline submit: HTTP %d", rec.Code)
+	}
+	var home *fakeBackend
+	for _, b := range bks {
+		if b.served.Load() > 0 {
+			home = b
+		}
+	}
+	home.failWith.Store(http.StatusInternalServerError)
+
+	rec := postRun(t, rt, submitBody())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("failover submit: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Fssim-Backend"); got == home.srv.URL {
+		t.Errorf("request served by the failing home backend %s", got)
+	}
+	if rt.mFailovers.Value() == 0 {
+		t.Error("failover counter did not move")
+	}
+	if rt.mMismatches.Value() != 0 {
+		t.Error("byte-identical failover must not count a mismatch")
+	}
+}
+
+// TestRouterFailoverOnConnectError: a dead (closed) backend fails over too.
+func TestRouterFailoverOnConnectError(t *testing.T) {
+	alive := newFakeBackend(t, `{"id":"r1"}`)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	rt := newTestRouter(t, RouterConfig{Backends: []string{dead.URL, alive.srv.URL}})
+
+	rec := postRun(t, rt, submitBody())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Fssim-Backend"); got != alive.srv.URL {
+		t.Errorf("served by %q, want the alive backend", got)
+	}
+}
+
+// TestRouterBadRequestStopsAtTheEdge: an invalid submit is rejected by the
+// router itself; no backend sees it.
+func TestRouterBadRequestStopsAtTheEdge(t *testing.T) {
+	b := newFakeBackend(t, `{"id":"r1"}`)
+	rt := newTestRouter(t, RouterConfig{Backends: []string{b.srv.URL}})
+	rec := postRun(t, rt, `{"benchmark":"no-such-benchmark"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("HTTP %d, want 400", rec.Code)
+	}
+	if b.served.Load() != 0 {
+		t.Error("backend saw an invalid request the edge should have rejected")
+	}
+}
+
+// TestRouter404Authoritative: a 404 from the home shard is the answer (the
+// run does not exist anywhere — placement is deterministic), not a failover.
+func TestRouter404Authoritative(t *testing.T) {
+	bks := []*fakeBackend{newFakeBackend(t, `{}`), newFakeBackend(t, `{}`)}
+	for _, b := range bks {
+		b.failWith.Store(http.StatusNotFound)
+	}
+	rt := newTestRouter(t, RouterConfig{
+		Backends:   []string{bks[0].srv.URL, bks[1].srv.URL},
+		HedgeAfter: -1, // sequential, so failover accounting is deterministic
+	})
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/runs/r0000000000000000", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("HTTP %d, want 404", rec.Code)
+	}
+	if rt.mFailovers.Value() != 0 {
+		t.Error("a 404 must be authoritative, not a failover")
+	}
+}
+
+// TestRouterDegradedLocalBelowQuorum: with every backend failing, requests
+// run on the embedded local server and are marked degraded — and still
+// produce a real, deterministic run body.
+func TestRouterDegradedLocalBelowQuorum(t *testing.T) {
+	bks := []*fakeBackend{newFakeBackend(t, `{}`), newFakeBackend(t, `{}`)}
+	for _, b := range bks {
+		b.failWith.Store(http.StatusInternalServerError)
+	}
+	local := server.New(server.Config{})
+	t.Cleanup(func() { _ = local.Drain(context.Background()) })
+	rt := newTestRouter(t, RouterConfig{
+		Backends: []string{bks[0].srv.URL, bks[1].srv.URL},
+		Local:    local,
+		Passes:   1,
+	})
+
+	var bodies []string
+	for i := 0; i < 3; i++ {
+		rec := postRun(t, rt, submitBody())
+		if rec.Code != http.StatusOK {
+			t.Fatalf("submit %d: HTTP %d: %s", i, rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("X-Fssim-Fleet"); got != "degraded" {
+			t.Fatalf("submit %d: X-Fssim-Fleet = %q, want degraded", i, got)
+		}
+		bodies = append(bodies, rec.Body.String())
+	}
+	for i := 1; i < len(bodies); i++ {
+		if bodies[i] != bodies[0] {
+			t.Error("degraded-local responses for one request are not byte-identical")
+		}
+	}
+	var resp server.RunResponse
+	if err := json.Unmarshal([]byte(bodies[0]), &resp); err != nil || resp.Cycles == 0 {
+		t.Fatalf("degraded body is not a real run response: %v (%s)", err, bodies[0])
+	}
+	if rt.mDegraded.Value() == 0 {
+		t.Error("degraded counter did not move")
+	}
+	// The repeated failures ejected both backends, so the fleet is now below
+	// quorum and new requests go local directly (no more failover churn).
+	if !rt.belowQuorum() {
+		t.Error("both backends failing repeatedly should have dropped the fleet below quorum")
+	}
+}
+
+// TestRouterHedgedGet: when the home shard stalls past the hedge delay, the
+// next ring node answers and the client never waits for the stall.
+func TestRouterHedgedGet(t *testing.T) {
+	slowBody := `{"id":"rh"}`
+	var slow, fast *httptest.Server
+	slowHit := atomic.Int64{}
+	slow = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		slowHit.Add(1)
+		time.Sleep(400 * time.Millisecond)
+		fmt.Fprintln(w, slowBody)
+	}))
+	fast = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, slowBody)
+	}))
+	t.Cleanup(slow.Close)
+	t.Cleanup(fast.Close)
+
+	rt := newTestRouter(t, RouterConfig{
+		Backends:   []string{slow.URL, fast.URL},
+		HedgeAfter: 20 * time.Millisecond,
+	})
+	// Find an id homed on the slow backend so the hedge has something to do.
+	id := ""
+	for i := 0; i < 200; i++ {
+		cand := fmt.Sprintf("r%016x", i)
+		if rt.Ring().Owner(cand) == slow.URL {
+			id = cand
+			break
+		}
+	}
+	if id == "" {
+		t.Fatal("no key homed on the slow backend in 200 tries")
+	}
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/runs/"+id, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d", rec.Code)
+	}
+	if d := time.Since(start); d > 300*time.Millisecond {
+		t.Errorf("hedged GET took %v; the stall leaked to the client", d)
+	}
+	if got := rec.Header().Get("X-Fssim-Backend"); got != fast.URL {
+		t.Errorf("served by %q, want the fast hedge target", got)
+	}
+	if rt.mHedged.Value() == 0 || rt.mHedgeWins.Value() == 0 {
+		t.Errorf("hedge counters = (%d, %d), want both > 0",
+			rt.mHedged.Value(), rt.mHedgeWins.Value())
+	}
+	if slowHit.Load() == 0 {
+		t.Error("primary was never tried")
+	}
+}
+
+// TestRouterByteIdentityVerification: duplicate 200 bodies for one id must
+// agree; a disagreement is counted.
+func TestRouterByteIdentityVerification(t *testing.T) {
+	rt := newTestRouter(t, RouterConfig{Backends: []string{"http://unused"}})
+	if !rt.verifyBody("rA", []byte("body-1")) {
+		t.Error("first body for an id must verify")
+	}
+	if !rt.verifyBody("rA", []byte("body-1")) {
+		t.Error("identical duplicate must verify")
+	}
+	if rt.verifyBody("rA", []byte("body-2")) {
+		t.Error("conflicting duplicate must fail verification")
+	}
+	if rt.mMismatches.Value() != 1 {
+		t.Errorf("mismatch counter = %d, want 1", rt.mMismatches.Value())
+	}
+}
+
+// TestRouterReadyz: the fleet summary reflects health and quorum.
+func TestRouterReadyz(t *testing.T) {
+	b := newFakeBackend(t, `{}`)
+	rt := newTestRouter(t, RouterConfig{Backends: []string{b.srv.URL}})
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d", rec.Code)
+	}
+	var body struct {
+		Status   string `json:"status"`
+		Healthy  int    `json:"healthy"`
+		Quorum   int    `json:"quorum"`
+		Backends int    `json:"backends"`
+		Degraded bool   `json:"degraded"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("undecodable readyz body %q: %v", rec.Body.String(), err)
+	}
+	if body.Status != "ready" || body.Healthy != 1 || body.Backends != 1 || body.Degraded {
+		t.Errorf("readyz = %+v", body)
+	}
+
+	// Eject the only backend: no local fallback, so the router is unavailable.
+	for i := 0; i < 3; i++ {
+		rt.Health().ReportFail(b.srv.URL)
+	}
+	rec = httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d after full ejection, want 503", rec.Code)
+	}
+}

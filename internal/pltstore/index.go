@@ -1,0 +1,139 @@
+package pltstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// MaxSnapshotBytes caps how large a snapshot may be to travel between
+// processes (peer gossip, client fetches). It is derived from the decoder's
+// own structural caps: a snapshot near the learner/cluster/EPO limits is a
+// few MB, so anything beyond this bound cannot be a snapshot the decoder
+// would accept — it is rejected before buffering, not after.
+const MaxSnapshotBytes = 16 << 20
+
+// ErrOversize reports snapshot bytes beyond MaxSnapshotBytes: rejected
+// before decoding (and, on the fetch path, before fully reading the body).
+var ErrOversize = errors.New("pltstore: snapshot exceeds size cap")
+
+// IndexEntry describes one stored snapshot for peer exchange: the address a
+// peer can fetch it under, plus the on-disk size so a fetcher can refuse
+// oversize transfers before issuing them. LearnHash travels as a %016x
+// string — a uint64 does not survive JSON number round-trips intact.
+type IndexEntry struct {
+	Benchmark string `json:"benchmark"`
+	LearnHash string `json:"learn_hash"`
+	Size      int64  `json:"size"`
+}
+
+// Addr renders the entry's store address compactly for logs and quarantine
+// bookkeeping.
+func (e IndexEntry) Addr() string { return e.Benchmark + "/" + e.LearnHash }
+
+// FormatHash renders a learn hash the way IndexEntry carries it.
+func FormatHash(h uint64) string { return fmt.Sprintf("%016x", h) }
+
+// ParseHash parses a %016x learn hash (as carried by IndexEntry and peer
+// fetch URLs).
+func ParseHash(s string) (uint64, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("pltstore: learn hash %q is not 16 hex digits", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pltstore: bad learn hash %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// Index enumerates the store's snapshots as advertised to peers. Only files
+// that decode and validate are listed — a corrupt or truncated file is never
+// advertised, so a peer cannot be tricked into fetching garbage this node
+// already knows is bad. Entries are sorted by address for determinism.
+func (s *Store) Index() ([]IndexEntry, error) {
+	paths, err := s.List("")
+	if err != nil {
+		return nil, err
+	}
+	var out []IndexEntry
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil || int64(len(data)) > MaxSnapshotBytes {
+			continue
+		}
+		snap, err := Decode(data)
+		if err != nil || snap.Validate() != nil {
+			continue
+		}
+		// The filename must agree with the self-described identity, exactly
+		// as Load enforces; a transplanted file is not advertised.
+		if s.Path(snap.Benchmark, snap.LearnHash) != p {
+			continue
+		}
+		out = append(out, IndexEntry{
+			Benchmark: snap.Benchmark,
+			LearnHash: FormatHash(snap.LearnHash),
+			Size:      int64(len(data)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr() < out[j].Addr() })
+	return out, nil
+}
+
+// PutVerified installs snapshot bytes fetched from an untrusted peer, but
+// only after full verification: the size cap, the checksum-first structural
+// decode, the semantic validator, and an exact match between the
+// self-described identity and the (bench, learnHash) address the caller is
+// entitled to store it under. Any failure leaves the store untouched and
+// returns a typed error (ErrOversize, *FormatError, ErrMismatch, or a
+// core.ErrBadState wrap); only a nil error means the bytes are now a
+// loadable local snapshot. The verified bytes are written verbatim (atomic
+// temp-file + rename), so what lands on disk is exactly what was checked.
+func (s *Store) PutVerified(bench string, learnHash uint64, data []byte) (*Snapshot, error) {
+	if int64(len(data)) > MaxSnapshotBytes {
+		return nil, fmt.Errorf("%w: %d bytes > %d", ErrOversize, len(data), MaxSnapshotBytes)
+	}
+	snap, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Benchmark != bench || snap.LearnHash != learnHash {
+		return nil, fmt.Errorf("%w: fetched bytes describe %s/%s, wanted %s/%s",
+			ErrMismatch, snap.Benchmark, FormatHash(snap.LearnHash), bench, FormatHash(learnHash))
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pltstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".plt-tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("pltstore: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	path := s.Path(bench, learnHash)
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("pltstore: writing %s: %w", path, werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("pltstore: %w", err)
+	}
+	return snap, nil
+}
+
+// Has reports whether a snapshot file exists at the given address (without
+// reading or validating it — the cheap anti-entropy "do I need this?" check).
+func (s *Store) Has(bench string, learnHash uint64) bool {
+	_, err := os.Stat(s.Path(bench, learnHash))
+	return err == nil
+}

@@ -1,0 +1,128 @@
+package pltstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestIndexAdvertisesOnlyValidSnapshots: the peer-facing index lists exactly
+// the decodable, validated, correctly-addressed snapshots — corrupt files
+// and transplanted (misnamed) files are silently omitted.
+func TestIndexAdvertisesOnlyValidSnapshots(t *testing.T) {
+	s := Open(t.TempDir())
+	snap := richSnapshot()
+	if err := s.Save(snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// A corrupt sibling: valid name, flipped byte.
+	bad := Encode(snap)
+	bad[len(bad)/2] ^= 0xff
+	if err := os.WriteFile(s.Path("corrupt-bench", snap.LearnHash), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A transplanted file: valid bytes under the wrong address.
+	if err := os.WriteFile(s.Path("renamed-bench", snap.LearnHash), Encode(snap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	idx, err := s.Index()
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	if len(idx) != 1 {
+		t.Fatalf("index = %+v, want exactly the one valid snapshot", idx)
+	}
+	e := idx[0]
+	if e.Benchmark != snap.Benchmark || e.LearnHash != FormatHash(snap.LearnHash) {
+		t.Errorf("index entry %+v does not describe the saved snapshot", e)
+	}
+	fi, _ := os.Stat(s.Path(snap.Benchmark, snap.LearnHash))
+	if e.Size != fi.Size() {
+		t.Errorf("index size %d, file size %d", e.Size, fi.Size())
+	}
+	h, err := ParseHash(e.LearnHash)
+	if err != nil || h != snap.LearnHash {
+		t.Errorf("ParseHash(%q) = %x, %v", e.LearnHash, h, err)
+	}
+}
+
+// TestPutVerified covers the verified-install path: good bytes land loadable
+// and byte-verbatim; every hostile variant is rejected with its typed error
+// and leaves the store empty.
+func TestPutVerified(t *testing.T) {
+	snap := richSnapshot()
+	good := Encode(snap)
+
+	t.Run("good", func(t *testing.T) {
+		s := Open(filepath.Join(t.TempDir(), "warm"))
+		got, err := s.PutVerified(snap.Benchmark, snap.LearnHash, good)
+		if err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		if !reflect.DeepEqual(got, snap) {
+			t.Error("verified snapshot differs from original")
+		}
+		loaded, err := s.Load(snap.Benchmark, snap.LearnHash)
+		if err != nil {
+			t.Fatalf("load after put: %v", err)
+		}
+		if !reflect.DeepEqual(loaded, snap) {
+			t.Error("loaded snapshot differs from original")
+		}
+		data, _ := os.ReadFile(s.Path(snap.Benchmark, snap.LearnHash))
+		if !reflect.DeepEqual(data, good) {
+			t.Error("installed bytes are not verbatim the verified bytes")
+		}
+	})
+
+	reject := func(t *testing.T, bench string, hash uint64, data []byte, want error) {
+		t.Helper()
+		s := Open(filepath.Join(t.TempDir(), "warm"))
+		_, err := s.PutVerified(bench, hash, data)
+		if want != nil && !errors.Is(err, want) {
+			t.Fatalf("put = %v, want %v", err, want)
+		}
+		if err == nil {
+			t.Fatal("hostile put succeeded")
+		}
+		if entries, _ := os.ReadDir(s.Dir()); len(entries) != 0 {
+			t.Errorf("rejected put left %d files in the store", len(entries))
+		}
+	}
+	t.Run("truncated", func(t *testing.T) {
+		var fe *FormatError
+		s := Open(filepath.Join(t.TempDir(), "warm"))
+		_, err := s.PutVerified(snap.Benchmark, snap.LearnHash, good[:len(good)-9])
+		if !errors.As(err, &fe) {
+			t.Fatalf("truncated put = %v, want *FormatError", err)
+		}
+		reject(t, snap.Benchmark, snap.LearnHash, good[:len(good)-9], nil)
+	})
+	t.Run("flipped-byte", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[17] ^= 0x01
+		reject(t, snap.Benchmark, snap.LearnHash, bad, nil)
+	})
+	t.Run("wrong-address", func(t *testing.T) {
+		reject(t, snap.Benchmark, snap.LearnHash+1, good, ErrMismatch)
+		reject(t, "other-bench", snap.LearnHash, good, ErrMismatch)
+	})
+	t.Run("oversize", func(t *testing.T) {
+		huge := make([]byte, MaxSnapshotBytes+1)
+		reject(t, snap.Benchmark, snap.LearnHash, huge, ErrOversize)
+	})
+}
+
+func TestParseHashRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "xyz", "123", "zzzzzzzzzzzzzzzz", "0123456789abcdef0"} {
+		if _, err := ParseHash(bad); err == nil {
+			t.Errorf("ParseHash(%q) accepted garbage", bad)
+		}
+	}
+	if h, err := ParseHash(FormatHash(0xdeadbeefcafef00d)); err != nil || h != 0xdeadbeefcafef00d {
+		t.Errorf("round trip = %x, %v", h, err)
+	}
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fssim/internal/pltstore"
+)
+
+// testPolicy is a deterministic retry policy: mid-range jitter, recorded
+// sleeps, no real waiting.
+func testPolicy(max int, sleeps *[]time.Duration) RetryPolicy {
+	return RetryPolicy{
+		Max:  max,
+		Base: 10 * time.Millisecond,
+		Cap:  time.Second,
+		rnd:  func() float64 { return 0.5 },
+		sleep: func(ctx context.Context, d time.Duration) error {
+			*sleeps = append(*sleeps, d)
+			return nil
+		},
+	}
+}
+
+// flakyHandler fails the first n requests with the given status, then
+// delegates to ok.
+func flakyHandler(n int, status int, header http.Header, ok http.HandlerFunc) (http.HandlerFunc, *atomic.Int64) {
+	var attempts atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= int64(n) {
+			for k, vs := range header {
+				w.Header()[k] = vs
+			}
+			w.WriteHeader(status)
+			fmt.Fprintln(w, `{"error":"scripted failure"}`)
+			return
+		}
+		ok(w, r)
+	}, &attempts
+}
+
+func okRunHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"id":"r1","key":"k","benchmark":"srv-ok","mode":"full","cycles":10,"instructions":5,"ipc":0.5,"l2_misses":1}`)
+}
+
+// TestRunRetriesShedSubmits: 429-shed submissions are retried (the server
+// provably did not run them) and the Retry-After floor is honored.
+func TestRunRetriesShedSubmits(t *testing.T) {
+	h, attempts := flakyHandler(2, http.StatusTooManyRequests,
+		http.Header{"Retry-After": []string{"1"}}, okRunHandler)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var sleeps []time.Duration
+	c := NewClient(srv.URL).WithRetry(testPolicy(3, &sleeps))
+	res, err := c.Run(context.Background(), RunRequest{Benchmark: "srv-ok"})
+	if err != nil {
+		t.Fatalf("Run after shed retries: %v", err)
+	}
+	if res.Response.ID != "r1" {
+		t.Errorf("response = %+v", res.Response)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3 (2 shed + 1 success)", got)
+	}
+	for i, d := range sleeps {
+		if d < time.Second {
+			t.Errorf("sleep %d = %v, shorter than the Retry-After floor of 1s", i, d)
+		}
+	}
+}
+
+// TestRunNeverRetriesAfterBodyRead: a 500 response means the submit may have
+// executed; it must not be replayed even under a generous policy.
+func TestRunNeverRetriesAfterBodyRead(t *testing.T) {
+	h, attempts := flakyHandler(1, http.StatusInternalServerError, nil, okRunHandler)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var sleeps []time.Duration
+	c := NewClient(srv.URL).WithRetry(testPolicy(5, &sleeps))
+	_, err := c.Run(context.Background(), RunRequest{Benchmark: "srv-ok"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want the 500 APIError", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want exactly 1 (no replay after a read body)", got)
+	}
+	if len(sleeps) != 0 {
+		t.Errorf("client slept %v before a terminal failure", sleeps)
+	}
+}
+
+// TestRunRetriesRefusedConnection: ECONNREFUSED means the submit never
+// reached a server, so even a POST retries — and gives up after Max.
+func TestRunRetriesRefusedConnection(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close() // port now refuses connections
+
+	var sleeps []time.Duration
+	c := NewClient(url).WithRetry(testPolicy(2, &sleeps))
+	_, err := c.Run(context.Background(), RunRequest{Benchmark: "srv-ok"})
+	if err == nil {
+		t.Fatal("Run against a dead port succeeded")
+	}
+	if len(sleeps) != 2 {
+		t.Errorf("client made %d backoffs, want 2 (Max)", len(sleeps))
+	}
+}
+
+// TestGetRetriesTransientStatuses: idempotent GETs retry 502s.
+func TestGetRetriesTransientStatuses(t *testing.T) {
+	h, attempts := flakyHandler(1, http.StatusBadGateway, nil, okRunHandler)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var sleeps []time.Duration
+	c := NewClient(srv.URL).WithRetry(testPolicy(3, &sleeps))
+	res, err := c.Get(context.Background(), "r1")
+	if err != nil || res == nil || res.Response.ID != "r1" {
+		t.Fatalf("Get = (%+v, %v), want the retried success", res, err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("server saw %d attempts, want 2", got)
+	}
+}
+
+// TestZeroPolicyIsSingleShot: without WithRetry, one failure is final — the
+// pre-retry contract.
+func TestZeroPolicyIsSingleShot(t *testing.T) {
+	h, attempts := flakyHandler(1, http.StatusTooManyRequests, nil, okRunHandler)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	_, err := NewClient(srv.URL).Run(context.Background(), RunRequest{Benchmark: "srv-ok"})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("zero policy made %d attempts, want 1", got)
+	}
+}
+
+// TestSnapshotOversizeRejected: a snapshot body beyond pltstore's cap is
+// refused with the typed error instead of being buffered whole.
+func TestSnapshotOversizeRejected(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		chunk := make([]byte, 1<<20)
+		for written := int64(0); written <= pltstore.MaxSnapshotBytes; written += int64(len(chunk)) {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+
+	_, err := NewClient(srv.URL).Snapshot(context.Background(), "srv-ok")
+	if !errors.Is(err, ErrSnapshotOversize) {
+		t.Fatalf("err = %v, want ErrSnapshotOversize", err)
+	}
+}
+
+// TestReadyzBody: /readyz describes the server in JSON — ready and draining
+// alike — while keeping the status-code contract (200 ready, 503 draining).
+func TestReadyzBody(t *testing.T) {
+	s, c := newTestServer(t, Config{Queue: 7})
+	ctx := context.Background()
+
+	st, err := c.Readyz(ctx)
+	if err != nil {
+		t.Fatalf("Readyz: %v", err)
+	}
+	if st.Status != "ready" || st.Draining || st.QueueCap != 7 || st.BreakersOpen != 0 {
+		t.Errorf("ready state = %+v", st)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- s.Drain(ctx) }()
+	waitFor(t, func() bool {
+		st, err := c.Readyz(ctx)
+		return err == nil && st.Draining
+	})
+	st, err = c.Readyz(ctx)
+	if err != nil {
+		t.Fatalf("Readyz while draining: %v", err)
+	}
+	if st.Status != "draining" || !st.Draining {
+		t.Errorf("draining state = %+v", st)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// TestBackoffFullJitterBounds: backoff stays within (0, min(Cap, Base·2^n)]
+// and respects the Retry-After floor.
+func TestBackoffFullJitterBounds(t *testing.T) {
+	p := RetryPolicy{Max: 5, Base: 100 * time.Millisecond, Cap: time.Second}
+	for attempt := 1; attempt <= 8; attempt++ {
+		for trial := 0; trial < 50; trial++ {
+			d := p.backoff(attempt, 0)
+			max := p.Base << uint(attempt-1)
+			if max > p.Cap || max <= 0 {
+				max = p.Cap
+			}
+			if d <= 0 || d > max {
+				t.Fatalf("backoff(%d) = %v, outside (0, %v]", attempt, d, max)
+			}
+		}
+	}
+	if d := p.backoff(1, 3*time.Second); d < 3*time.Second {
+		t.Errorf("backoff with Retry-After 3s = %v, floor violated", d)
+	}
+}

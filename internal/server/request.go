@@ -192,6 +192,21 @@ type RunResponse struct {
 	Degraded bool `json:"degraded,omitempty"`
 }
 
+// RunID derives the deterministic public id of a cache key: identical
+// requests — from any client, at any time — map to the same id. It is
+// exported for the fleet router, which shards by it: because the id is a
+// pure function of the normalized key, POST /v1/runs and the later
+// GET /v1/runs/{id} land on the same ring node.
+func RunID(key experiments.RunKey) string { return runID(key) }
+
+// Spec maps a validated request onto a scheduler RunSpec using the given
+// defaults — the same normalization handleSubmit applies, exported so a
+// routing tier computes the identical cache key (and therefore the identical
+// ring placement and run id) as the backend that will serve the request.
+func (q RunRequest) Spec(defaultScale float64, defaultSeed int64) (experiments.RunSpec, error) {
+	return q.spec(defaultScale, defaultSeed)
+}
+
 // runID derives the deterministic public id of a cache key: identical
 // requests — from any client, at any time — map to the same id.
 func runID(key experiments.RunKey) string {

@@ -246,7 +246,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/plt", s.handlePLTIndex)
 	mux.HandleFunc("GET /v1/plt/{benchmark}", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/plt/{benchmark}/{hash}", s.handleSnapshotAt)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -626,25 +628,102 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
+// pltIndexBody is the JSON body of GET /v1/plt: the snapshots this node's
+// warm store currently advertises to peers.
+type pltIndexBody struct {
+	Snapshots []pltstore.IndexEntry `json:"snapshots"`
+}
+
+// handlePLTIndex is GET /v1/plt: the store's snapshot index, the anchor of
+// the anti-entropy protocol — peers diff it against their own store and
+// fetch what they are missing. Only decodable, validated snapshots are
+// advertised. An empty store (or disabled persistence) is an empty index,
+// not an error: "I have nothing for you" is a valid anti-entropy answer.
+func (s *Server) handlePLTIndex(w http.ResponseWriter, r *http.Request) {
+	body := pltIndexBody{Snapshots: []pltstore.IndexEntry{}}
+	if store := s.sched.WarmStore(); store != nil {
+		if idx, err := store.Index(); err == nil && idx != nil {
+			body.Snapshots = idx
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleSnapshotAt is GET /v1/plt/{benchmark}/{hash}: the exact snapshot a
+// peer's index advertised, as raw pltstore bytes. Unlike the newest-wins
+// /v1/plt/{benchmark}, the address is explicit, so a gossiping peer fetches
+// precisely what it diffed. The file is re-decoded before serving — a store
+// that rotted since indexing serves 404, never garbage.
+func (s *Server) handleSnapshotAt(w http.ResponseWriter, r *http.Request) {
+	store := s.sched.WarmStore()
+	if store == nil {
+		writeJSON(w, http.StatusNotFound, errBody{"PLT persistence disabled (start the server with a warm dir)"})
+		return
+	}
+	bench := r.PathValue("benchmark")
+	hash, err := pltstore.ParseHash(r.PathValue("hash"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody{err.Error()})
+		return
+	}
+	path := store.Path(bench, hash)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errBody{"no snapshot at " + bench + "/" + pltstore.FormatHash(hash)})
+		return
+	}
+	snap, err := pltstore.Decode(data)
+	if err != nil || snap.Benchmark != bench || snap.LearnHash != hash {
+		writeJSON(w, http.StatusNotFound, errBody{"snapshot at " + bench + "/" + pltstore.FormatHash(hash) + " is corrupt or transplanted"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Fssim-Plt-Format-Version", strconv.Itoa(pltstore.FormatVersion))
+	w.Header().Set("X-Fssim-Plt-Key", snap.Key)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
 // handleHealthz reports liveness: the process is up and serving HTTP.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readyBody is the GET /readyz JSON in both branches: the status-code
+// semantics (200 ready / 503 draining) are unchanged, but the body now
+// always carries the drain flag and the load signals a fleet router's
+// ejection logic weighs — a bare 200/503 is not enough to rank backends.
+type readyBody struct {
+	Status       string `json:"status"`
+	Draining     bool   `json:"draining"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueCap     int    `json:"queue_cap"`
+	BreakersOpen int    `json:"breakers_open"`
+}
+
 // handleReadyz reports readiness: draining (or drained) servers are not
 // ready, so load balancers stop routing before the listener goes away.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+	body := readyBody{
+		Status:       "ready",
+		Draining:     s.draining.Load(),
+		QueueDepth:   len(s.queueSlots),
+		QueueCap:     cap(s.queueSlots),
+		BreakersOpen: s.breakers.openCount(),
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ready",
-		"queue_depth":   len(s.queueSlots),
-		"queue_cap":     cap(s.queueSlots),
-		"breakers_open": s.breakers.openCount(),
-	})
+	status := http.StatusOK
+	if body.Draining {
+		body.Status, status = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
+
+// Registry exposes the server's serving-path metrics registry so sibling
+// subsystems sharing the process (the PLT gossiper, notably) can register
+// their instruments next to the server's own and appear in GET /metrics.
+// Histograms registered here are written under the server's latency mutex;
+// external writers must be single-writer per histogram, like trace requires.
+func (s *Server) Registry() *trace.Registry { return s.reg }
 
 // handleMetrics dumps the serving-path instruments followed by the
 // scheduler's cache/worker counters, in the PR 3 plaintext format.
