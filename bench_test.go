@@ -25,6 +25,7 @@ import (
 	"fssim/internal/machine"
 	"fssim/internal/memsys"
 	"fssim/internal/pltstore"
+	"fssim/internal/sample"
 	"fssim/internal/server"
 	"fssim/internal/workload"
 )
@@ -365,6 +366,45 @@ func BenchmarkAcceleratedSimulation(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Stats.Insts), "sim-insts/op")
+	}
+}
+
+// BenchmarkSampledVsFullRun measures the stratified-sampling fast path
+// against the full run it replaces: the timed loop is the sampled run; the
+// full-detail baseline executes once outside it. The custom metrics report
+// the estimator's quality — app-side detailed-interval reduction, the
+// extrapolated-cycles error against ground truth, and the 95% CI half-width
+// — alongside the wall-clock ratio the ns/op column implies.
+func BenchmarkSampledVsFullRun(b *testing.B) {
+	full := func() workload.Result {
+		opts := workload.DefaultOptions()
+		opts.Scale = 0.25
+		res, err := workload.Run("ab-rand", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}()
+	spec, err := sample.ParseSpec("default")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := workload.DefaultOptions()
+		opts.Scale = 0.25
+		smp := sample.New(spec, opts.Machine.Seed)
+		opts.Sample = smp
+		res, err := workload.Run("ab-rand", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := smp.Report()
+		errPct := 100 * (float64(res.Stats.Cycles) - float64(full.Stats.Cycles)) /
+			float64(full.Stats.Cycles)
+		b.ReportMetric(rep.Reduction(), "app-detail-reduction")
+		b.ReportMetric(math.Abs(errPct), "cycles-err-%")
+		b.ReportMetric(100*rep.RelCI(res.Stats.Cycles), "ci95-%")
 	}
 }
 

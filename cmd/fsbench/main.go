@@ -18,6 +18,7 @@
 //	fsbench -j 1             # serial (tables identical to any other -j)
 //	fsbench -pincosts        # pin tab1/tab2 host-cost columns (reproducible)
 //	fsbench -faults storm    # inject the "storm" fault plan into every run
+//	fsbench -sample default  # stratified app-interval sampling on every run
 //	fsbench -timeout 2m      # abort any single simulation after 2 minutes
 //	fsbench -trace out.json  # record every run; export Chrome trace JSON
 //	fsbench -trace out.jsonl # ... or compact JSON lines (by extension)
@@ -41,6 +42,7 @@ import (
 
 	"fssim/internal/experiments"
 	"fssim/internal/faults"
+	"fssim/internal/sample"
 	"fssim/internal/server"
 )
 
@@ -52,6 +54,7 @@ func main() {
 	pincosts := flag.Bool("pincosts", false, "pin tab1/tab2 mode costs to reference values instead of timing this host")
 	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = unlimited)")
 	faultPlan := flag.String("faults", "", "fault plan injected into every simulation ("+strings.Join(faults.Names(), ", ")+"; empty = none)")
+	sampleSpec := flag.String("sample", "", "stratified app-interval sampling spec applied to every simulation ("+strings.Join(sample.PresetNames(), ", ")+" or key=value list; empty = none)")
 	retries := flag.Int("retries", 0, "extra attempts for a failed simulation, each with a fresh derived seed")
 	traceOut := flag.String("trace", "", "record every simulation and export a trace file (.jsonl = JSON lines, anything else = Chrome trace-event JSON for Perfetto)")
 	metricsOut := flag.String("metrics", "", "write per-run metrics registries plus harness counters to this file (- = stdout)")
@@ -88,6 +91,7 @@ func main() {
 	cfg := experiments.Config{
 		Scale: *scale, Seed: *seed, Parallelism: parallel,
 		Timeout: *timeout, Retries: *retries, FaultPlan: *faultPlan,
+		Sample:  *sampleSpec,
 		Trace:   *traceOut != "" || *metricsOut != "",
 		WarmDir: *warmDir,
 	}.WithContext(ctx)
@@ -140,6 +144,14 @@ func main() {
 	if *warmDir != "" {
 		fmt.Printf("plt: %d replayed warm, %d cold, %d invalidated, %d snapshots saved, %d instances learned\n",
 			st.WarmHits, st.WarmMisses, st.WarmInvalid, st.WarmSaves, st.PLTLearned)
+	}
+	if *sampleSpec != "" || st.SampledRuns > 0 {
+		red := 1.0
+		if st.SampleDetailed > 0 {
+			red = float64(st.SampleDetailed+st.SampleExtrapolated) / float64(st.SampleDetailed)
+		}
+		fmt.Printf("sample: %d sampled runs, %d detailed + %d extrapolated app intervals (%.1fx reduction)\n",
+			st.SampledRuns, st.SampleDetailed, st.SampleExtrapolated, red)
 	}
 	if err != nil {
 		os.Exit(1)

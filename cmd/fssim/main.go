@@ -7,6 +7,7 @@
 //	fssim -bench ab-rand -mode accel      # the paper's accelerated scheme
 //	fssim -bench du -mode apponly         # application-only baseline
 //	fssim -bench iperf -l2 2097152        # 2MB L2
+//	fssim -bench ab-rand -sample default  # stratified app-interval sampling
 //	fssim -bench ab-rand -mode accel -warm-dir warm   # persist + warm-start the PLT
 //	fssim -list                           # available benchmarks
 package main
@@ -17,10 +18,12 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"fssim/internal/core"
 	"fssim/internal/machine"
 	"fssim/internal/pltstore"
+	"fssim/internal/sample"
 	"fssim/internal/workload"
 )
 
@@ -38,6 +41,7 @@ func main() {
 	tlb := flag.Bool("tlb", false, "enable TLB modeling (64-entry I/D TLBs, 30-cycle walks)")
 	prefetch := flag.Bool("prefetch", false, "enable the L2 next-line prefetcher")
 	warmDir := flag.String("warm-dir", "", "accel mode: import a persisted PLT snapshot from this directory before simulating, and persist the learned table after (empty = off)")
+	sampleSpec := flag.String("sample", "", "stratified app-interval sampling spec: a preset ("+strings.Join(sample.PresetNames(), ", ")+") or key=value list (empty = every app interval detailed)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -103,6 +107,15 @@ func main() {
 			}
 			traceW.Write(row)
 		}
+	}
+	var smp *sample.Sampler
+	if *sampleSpec != "" {
+		spec, err := sample.ParseSpec(*sampleSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		smp = sample.New(spec, opts.Machine.Seed)
+		opts.Sample = smp
 	}
 	var acc *core.Accelerator
 	switch *mode {
@@ -195,6 +208,10 @@ func main() {
 					row.Service, row.Seen, row.Clusters, row.Predicted, row.Outliers, row.Relearns)
 			}
 		}
+	}
+	if smp != nil {
+		rep := smp.Report()
+		fmt.Printf("sampling         %s\n", rep.Summary(st.Cycles))
 	}
 	fmt.Printf("host time        %.2fs (%.0f ns/inst)\n",
 		host.Seconds(), float64(host.Nanoseconds())/float64(st.Insts))

@@ -54,6 +54,7 @@ import (
 	"fssim/internal/kernel"
 	"fssim/internal/machine"
 	"fssim/internal/pltstore"
+	"fssim/internal/sample"
 	"fssim/internal/server"
 	"fssim/internal/trace"
 	"fssim/internal/workload"
@@ -108,6 +109,17 @@ type (
 	// Profiler performs the paper's §3 characterization of OS services.
 	Profiler = core.Profiler
 
+	// Sampler is the stratified application-interval sampler: it clusters
+	// user-mode stretches between OS services, simulates a budgeted number of
+	// representatives per stratum in detail, fast-forwards the rest, and
+	// extrapolates with per-stratum confidence intervals.
+	Sampler = sample.Sampler
+	// SampleSpec configures a sampling policy (parse with ParseSampleSpec).
+	SampleSpec = sample.Spec
+	// SampleReport is a sampled run's estimator output: strata, the
+	// detailed/extrapolated split, and the 95% CI on extrapolated cycles.
+	SampleReport = sample.Report
+
 	// Tracer is the observability recorder: per-interval spans, instants and
 	// a typed metrics registry, exportable as Chrome trace-event JSON
 	// (Perfetto), JSON lines, or a plaintext metrics dump. A nil *Tracer is
@@ -140,6 +152,13 @@ type Options struct {
 	TLB bool
 	// Prefetch enables the L2 next-line prefetcher — likewise an extension.
 	Prefetch bool
+	// Sample attaches an application-interval stratified sampler: a preset
+	// name ("default", "fast", "precise") or a key=value spec (see
+	// sample.ParseSpec). Sampled runs simulate only budgeted representative
+	// app intervals in detail, fast-forward the rest, and report extrapolated
+	// figures with a 95% confidence interval (Report.Sample). Empty disables
+	// sampling.
+	Sample string
 	// WarmDir roots a PLT snapshot store (a directory; created on first
 	// save). Accelerated runs import a compatible persisted table before
 	// simulating — a warm start that skips the learning phase wherever the
@@ -157,7 +176,7 @@ type Options struct {
 	Trace *Tracer
 }
 
-func (o Options) toWorkload() (workload.Options, *core.Accelerator) {
+func (o Options) toWorkload() (workload.Options, *core.Accelerator, *sample.Sampler, error) {
 	opts := workload.DefaultOptions()
 	if o.Scale > 0 {
 		opts.Scale = o.Scale
@@ -190,7 +209,16 @@ func (o Options) toWorkload() (workload.Options, *core.Accelerator) {
 		acc = core.NewAccelerator(params)
 		opts.Sink = acc
 	}
-	return opts, acc
+	var smp *sample.Sampler
+	if o.Sample != "" {
+		spec, err := sample.ParseSpec(o.Sample)
+		if err != nil {
+			return opts, acc, nil, err
+		}
+		smp = sample.New(spec, opts.Machine.Seed)
+		opts.Sample = smp
+	}
+	return opts, acc, smp, nil
 }
 
 // Report is the outcome of a simulation run.
@@ -200,6 +228,10 @@ type Report struct {
 	// Accel exposes the acceleration engine's state (nil unless the run was
 	// Accelerated).
 	Accel *Accelerator
+	// Sample is the stratified-sampling estimator's report (nil unless
+	// Options.Sample was set): strata, detailed/extrapolated split, and the
+	// 95% confidence half-width on the extrapolated cycles.
+	Sample *SampleReport
 	// Machine and Kernel expose the finished simulation for inspection.
 	Machine *Machine
 	Kernel  *Kernel
@@ -239,7 +271,10 @@ func OSIntensiveBenchmarks() []string { return workload.OSIntensiveNames() }
 // Options.WarmDir set, an Accelerated run warm-starts from (and persists to)
 // the PLT snapshot store rooted there.
 func RunBenchmark(name string, o Options) (*Report, error) {
-	opts, acc := o.toWorkload()
+	opts, acc, smp, err := o.toWorkload()
+	if err != nil {
+		return nil, err
+	}
 	var store *pltstore.Store
 	var learn uint64
 	warmed := false
@@ -268,7 +303,12 @@ func RunBenchmark(name string, o Options) (*Report, error) {
 		// Best effort: an unwritable warm dir degrades persistence, not the run.
 		_ = store.Save(snap)
 	}
-	return &Report{Stats: res.Stats, Accel: acc, Machine: res.Machine, Kernel: res.Kernel, WarmStarted: warmed}, nil
+	rep := &Report{Stats: res.Stats, Accel: acc, Machine: res.Machine, Kernel: res.Kernel, WarmStarted: warmed}
+	if smp != nil {
+		r := smp.Report()
+		rep.Sample = &r
+	}
+	return rep, nil
 }
 
 // System is an assembled simulated machine + OS awaiting custom workloads.
@@ -276,12 +316,19 @@ type System struct {
 	m    *Machine
 	k    *Kernel
 	acc  *Accelerator
+	smp  *Sampler
 	opts Options
 }
 
-// NewSystem builds a simulated system for custom guest programs.
+// NewSystem builds a simulated system for custom guest programs. An invalid
+// Options.Sample spec panics here (unlike RunBenchmark, there is no error
+// return); validate specs with ParseSampleSpec first when they are
+// user-supplied.
 func NewSystem(o Options) *System {
-	opts, acc := o.toWorkload()
+	opts, acc, smp, err := o.toWorkload()
+	if err != nil {
+		panic("fssim: " + err.Error())
+	}
 	m := machine.New(opts.Machine)
 	if opts.Trace != nil {
 		m.SetTrace(opts.Trace)
@@ -292,11 +339,17 @@ func NewSystem(o Options) *System {
 			acc.SetRecorder(opts.Trace)
 		}
 	}
+	if opts.Sample != nil {
+		m.SetAppSink(opts.Sample)
+		if smp != nil && opts.Trace != nil {
+			smp.SetRecorder(opts.Trace)
+		}
+	}
 	if opts.Observer != nil {
 		m.SetObserver(opts.Observer)
 	}
 	k := kernel.New(m, opts.Tunables)
-	return &System{m: m, k: k, acc: acc, opts: o}
+	return &System{m: m, k: k, acc: acc, smp: smp, opts: o}
 }
 
 // Machine returns the simulated hardware.
@@ -321,7 +374,14 @@ func (s *System) Spawn(name string, body func(*Proc)) *Thread {
 // partially simulated statistics are still reported.
 func (s *System) Run() *Report {
 	err := s.k.Run()
-	return &Report{Stats: s.m.Stats(), Accel: s.acc, Machine: s.m, Kernel: s.k, Err: err}
+	// Close the final user-mode stretch (no-op without a sampling sink).
+	s.m.FinishApp()
+	rep := &Report{Stats: s.m.Stats(), Accel: s.acc, Machine: s.m, Kernel: s.k, Err: err}
+	if s.smp != nil {
+		r := s.smp.Report()
+		rep.Sample = &r
+	}
+	return rep
 }
 
 // DefaultParams returns the paper's acceleration parameters: Statistical
@@ -335,6 +395,16 @@ func NewAccelerator(p Params) *Accelerator { return core.NewAccelerator(p) }
 
 // NewProfiler returns a §3 characterization profiler; attach its Observer.
 func NewProfiler() *Profiler { return core.NewProfiler() }
+
+// ParseSampleSpec parses a sampling policy: a preset name ("default",
+// "fast", "precise") or a comma-separated key=value list (budget, min,
+// pilot, range, refresh, mix), e.g. "fast,budget=6".
+func ParseSampleSpec(s string) (SampleSpec, error) { return sample.ParseSpec(s) }
+
+// NewSampler builds an application-interval sampler for direct use with
+// workload.Options.Sample; RunBenchmark and NewSystem build one automatically
+// from Options.Sample.
+func NewSampler(spec SampleSpec, seed int64) *Sampler { return sample.New(spec, seed) }
 
 // NewTracer returns an observability recorder with default ring capacities,
 // ready to pass as Options.Trace.

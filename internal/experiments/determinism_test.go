@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"testing"
+
+	"fssim/internal/machine"
 )
 
 // TestDeterminismAcrossParallelism is the contract the memo cache and the
@@ -62,6 +64,57 @@ func TestFaultedDeterminism(t *testing.T) {
 	if serial, parallel := render(1), render(8); serial != parallel {
 		t.Errorf("faulted fig11 renders differently at parallelism 1 vs 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serial, parallel)
+	}
+}
+
+// TestSampledDeterminism extends the parallelism contract to sampled runs: a
+// config routing every simulation through the stratified app-interval sampler
+// must render byte-identically at any -j, because every sampling decision is
+// a pure function of (spec, derived seed, observation history) — never of
+// scheduling order. fig1 covers the sampled full-system and app-only paths;
+// the sampling experiment itself is covered by the suite-wide test above.
+func TestSampledDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: runs a sampled experiment twice")
+	}
+	render := func(parallelism int) string {
+		t.Helper()
+		mc := ReferenceModeCosts
+		cfg := Config{Scale: 0.1, Seed: 1, Parallelism: parallelism, ModeCosts: &mc, Sample: "default"}
+		res, err := Run("fig1", cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return res.StableRender()
+	}
+	if serial, parallel := render(1), render(8); serial != parallel {
+		t.Errorf("sampled fig1 renders differently at parallelism 1 vs 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestSampledSpellingSharesKeys pins spec canonicalization: two spellings of
+// one sampling policy must normalize to identical run keys, so they share
+// memo-cache entries, run ids, and byte-identical tables.
+func TestSampledSpellingSharesKeys(t *testing.T) {
+	a := Config{Sample: "default"}.normalized()
+	b := Config{Sample: "budget=8,min=2,pilot=64,range=0.05,refresh=64"}.normalized()
+	ka := a.benchKey("ab-rand", machine.FullSystem, 0)
+	kb := b.benchKey("ab-rand", machine.FullSystem, 0)
+	if ka != kb {
+		t.Errorf("spellings of one policy produced distinct keys:\n%s\n%s", ka, kb)
+	}
+	if ka.Sample == "" {
+		t.Error("normalized config lost its sampling spec")
+	}
+	// The sampled key must share its unsampled twin's derived seed (same
+	// trajectory), while still being a distinct cache entry.
+	plain := Config{}.normalized().benchKey("ab-rand", machine.FullSystem, 0)
+	if ka == plain {
+		t.Error("sampled and unsampled keys collide")
+	}
+	if ka.DeriveSeed() != plain.DeriveSeed() {
+		t.Error("sampled run does not replay its unsampled twin's trajectory seed")
 	}
 }
 

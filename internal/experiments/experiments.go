@@ -26,6 +26,7 @@ import (
 
 	"fssim/internal/faults"
 	"fssim/internal/machine"
+	"fssim/internal/sample"
 )
 
 // Config scales and seeds the experiment runs.
@@ -52,6 +53,13 @@ type Config struct {
 	// simulation ("" = none). Enabling it changes every RunKey, so faulted
 	// and unfaulted runs never share cache entries.
 	FaultPlan string
+	// Sample, when non-empty, attaches an application-interval stratified
+	// sampler (sample.ParseSpec syntax: a preset like "default"/"fast"/
+	// "precise" or a key=value list) to every simulation. It is normalized
+	// to canonical form, becomes part of every RunKey, and each result's
+	// extrapolated figures carry a variance-derived 95% confidence interval
+	// (Outcome.Sample). Empty disables sampling.
+	Sample string
 	// Trace attaches a fresh trace.Recorder to every simulation the scheduler
 	// executes. Recorders observe without influencing: a traced run's tables
 	// and statistics are byte-identical to an untraced run's (asserted by
@@ -104,6 +112,13 @@ func (c Config) normalized() Config {
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.Sample != "" {
+		// validate() has already accepted the spec; canonicalize so every
+		// spelling of one policy produces identical keys and tables.
+		if canon, err := sample.Canonical(c.Sample); err == nil {
+			c.Sample = canon
+		}
+	}
 	return c
 }
 
@@ -123,6 +138,11 @@ func (c Config) validate() error {
 	}
 	if c.FaultPlan != "" {
 		if _, err := faults.Named(c.FaultPlan); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	if c.Sample != "" {
+		if _, err := sample.Canonical(c.Sample); err != nil {
 			return fmt.Errorf("experiments: %w", err)
 		}
 	}
@@ -218,6 +238,8 @@ func init() {
 			FaultsExp, faultsExpNeeds},
 		"warmstart": {"Warm-started PLTs: prediction parity, coverage and work saved vs cold learning",
 			WarmstartExp, warmstartNeeds},
+		"sampling": {"Stratified app-interval sampling: error/speedup curve with 95% confidence intervals",
+			SamplingExp, samplingNeeds},
 	}
 }
 

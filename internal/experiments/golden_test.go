@@ -13,9 +13,11 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden-table files un
 // a baseline divergence figure (fig1), the two characterization summaries
 // clustering feeds (fig6), the closed-form learning window (fig7), the
 // strategy comparison (fig11), the Eq-10 speedup table (tab2), the
-// fault-injection robustness study (faults), and the PLT persistence study
-// (warmstart) whose parity column pins the warm-start invariant.
-var goldenIDs = []string{"fig1", "fig6", "fig7", "fig11", "tab2", "faults", "warmstart"}
+// fault-injection robustness study (faults), the PLT persistence study
+// (warmstart) whose parity column pins the warm-start invariant, and the
+// stratified-sampling error/speedup study (sampling) whose error column pins
+// the extrapolation estimator.
+var goldenIDs = []string{"fig1", "fig6", "fig7", "fig11", "tab2", "faults", "warmstart", "sampling"}
 
 // goldenConfig is the pinned small-scale configuration the files were
 // rendered under. Mode costs are pinned so tab2 doesn't time the host.

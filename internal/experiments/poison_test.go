@@ -96,6 +96,36 @@ func TestPoisonedFaultedDeterminism(t *testing.T) {
 	})
 }
 
+// TestPoisonedSampledDeterminism extends the dirty-pool contract to the
+// stratified-sampling fast path: sampled runs lean on the emulated-interval
+// machinery (virtual-clock advancement, prediction scratch reuse, phantom
+// cache touches), so a recycled-record leak there would surface here as a
+// clean-vs-poisoned or j1-vs-j8 divergence of the sampling experiment.
+func TestPoisonedSampledDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: runs the sampling experiment three times")
+	}
+	render := func(parallelism int) string {
+		t.Helper()
+		mc := ReferenceModeCosts
+		cfg := Config{Scale: 0.1, Seed: 1, Parallelism: parallelism, ModeCosts: &mc}
+		res, err := Run("sampling", cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return res.StableRender()
+	}
+	clean := render(1)
+	withPoisonedPools(t, func() {
+		if p := render(1); p != clean {
+			t.Errorf("sampling output changed under poisoned pools:\n--- clean ---\n%s\n--- poisoned ---\n%s", clean, p)
+		}
+		if p1, p8 := render(1), render(8); p1 != p8 {
+			t.Errorf("poisoned sampling experiment renders differently at -j 1 vs -j 8")
+		}
+	})
+}
+
 // TestPoisonedTracedDeterminism closes the loop on the observability layer:
 // traces and metrics are recorded from the same hot loop the pools serve, so
 // all three exports must be byte-identical with pools poisoned, at any -j.

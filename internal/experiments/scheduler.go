@@ -16,6 +16,7 @@ import (
 	"fssim/internal/faults"
 	"fssim/internal/machine"
 	"fssim/internal/pltstore"
+	"fssim/internal/sample"
 	"fssim/internal/trace"
 	"fssim/internal/workload"
 )
@@ -41,6 +42,13 @@ type RunKey struct {
 	// machine seed, so every mode and strategy of one config experiences
 	// the identical fault schedule and stays comparable.
 	Faults string
+	// Sample is the canonical sample.Spec string of the application-interval
+	// stratified-sampling policy ("" = every app interval detailed). Part of
+	// the key — sampled and unsampled runs never share cache entries — but
+	// deliberately excluded from DeriveSeed: a sampled run replays the exact
+	// workload trajectory of its unsampled twin, so comparing the two
+	// measures pure estimator error, not seed-to-seed variance.
+	Sample string
 }
 
 // watchdogOpt is the OptsHash bit arming the prediction-divergence watchdog
@@ -55,6 +63,9 @@ func (k RunKey) String() string {
 	}
 	if k.Faults != "" {
 		s += "/faults=" + k.Faults
+	}
+	if k.Sample != "" {
+		s += "/sample=" + k.Sample
 	}
 	return s
 }
@@ -74,6 +85,10 @@ func (k RunKey) DeriveSeed() int64 {
 	if k.Faults != "" {
 		fmt.Fprintf(h, "|faults=%s", k.Faults)
 	}
+	// k.Sample is intentionally NOT hashed: the sampler only decides which
+	// intervals are measured versus extrapolated, and the sampled run must
+	// replay the byte-identical workload trajectory of the unsampled run at
+	// the same coordinates for error attribution to be meaningful.
 	s := int64(h.Sum64() &^ (1 << 63)) // keep it non-negative for readability
 	if s == 0 {
 		s = 1
@@ -108,6 +123,9 @@ func (k RunKey) withFaults(plan string) RunKey { k.Faults = plan; return k }
 // withWatchdog returns the key with the divergence watchdog armed.
 func (k RunKey) withWatchdog() RunKey { k.OptsHash |= watchdogOpt; return k }
 
+// withSample returns the key with the given canonical sampling spec applied.
+func (k RunKey) withSample(spec string) RunKey { k.Sample = spec; return k }
+
 // runOutput is everything a memoized run yields. Full-system runs always
 // carry a Profiler (characterization is free to record and lets Figs 3-6
 // share the same cached simulations as the fig1/fig8 baselines); Accelerated
@@ -117,7 +135,18 @@ type runOutput struct {
 	res  workload.Result
 	acc  *core.Accelerator
 	prof *core.Profiler
+	smp  *sample.Sampler // non-nil when the key carries a sampling spec
 	rec  *trace.Recorder // non-nil when Config.Trace is set
+}
+
+// outcome is the exported view of this output for serving front-ends.
+func (o runOutput) outcome() Outcome {
+	oc := Outcome{Result: o.res, Accel: o.acc, Trace: o.rec}
+	if o.smp != nil {
+		rep := o.smp.Report()
+		oc.Sample = &rep
+	}
+	return oc
 }
 
 // runEntry is one cache slot; done is closed when out/err/wall are final.
@@ -149,6 +178,11 @@ type SchedStats struct {
 	// process actually simulated; replayed runs contribute nothing, so a
 	// fully warm process reports ~0.
 	PLTLearned int64
+
+	// Stratified-sampling counters (all zero unless sampled keys were run).
+	SampledRuns        int64 // runs executed with an application-interval sampler
+	SampleDetailed     int64 // app intervals simulated in detail across sampled runs
+	SampleExtrapolated int64 // app intervals fast-forwarded across sampled runs
 }
 
 // RunError describes one simulation's final failure: which run, how many
@@ -204,6 +238,10 @@ type Scheduler struct {
 	warmInvalid atomic.Int64
 	warmSaves   atomic.Int64
 	pltLearned  atomic.Int64
+
+	sampledRuns  atomic.Int64
+	sampleDet    atomic.Int64
+	sampleExtrap atomic.Int64
 }
 
 // NewScheduler builds a scheduler for cfg; cfg is normalized first, so a
@@ -241,6 +279,10 @@ func (s *Scheduler) Stats() SchedStats {
 		WarmInvalid: s.warmInvalid.Load(),
 		WarmSaves:   s.warmSaves.Load(),
 		PLTLearned:  s.pltLearned.Load(),
+
+		SampledRuns:        s.sampledRuns.Load(),
+		SampleDetailed:     s.sampleDet.Load(),
+		SampleExtrapolated: s.sampleExtrap.Load(),
 	}
 }
 
@@ -353,6 +395,10 @@ type Outcome struct {
 	// Accel is the run's acceleration engine (nil unless Accelerated); its
 	// Health feeds circuit-breaking degradation decisions.
 	Accel *core.Accelerator
+	// Sample is the estimator report of a sampled run (nil unless the key
+	// carried a sampling spec): strata, detailed/extrapolated split, and the
+	// 95% confidence half-width on the extrapolated cycles.
+	Sample *sample.Report
 	// Trace is the run's recorder (nil unless Config.Trace).
 	Trace *trace.Recorder
 }
@@ -394,7 +440,7 @@ func (s *Scheduler) LookupNotify(ctx context.Context, key RunKey, onDone func(Ou
 		case <-ctx.Done():
 			return Outcome{}, status, ctx.Err()
 		}
-		return Outcome{Result: e.out.res, Accel: e.out.acc, Trace: e.out.rec}, status, e.err
+		return e.out.outcome(), status, e.err
 	}
 	e = &runEntry{done: make(chan struct{})}
 	s.runs[key] = e
@@ -403,7 +449,7 @@ func (s *Scheduler) LookupNotify(ctx context.Context, key RunKey, onDone func(Ou
 	go func() {
 		s.run(s.cfg.context(), key, e, nil)
 		if onDone != nil {
-			onDone(Outcome{Result: e.out.res, Accel: e.out.acc, Trace: e.out.rec}, e.err)
+			onDone(e.out.outcome(), e.err)
 		}
 	}()
 	select {
@@ -411,7 +457,7 @@ func (s *Scheduler) LookupNotify(ctx context.Context, key RunKey, onDone func(Ou
 	case <-ctx.Done():
 		return Outcome{}, LookupMiss, ctx.Err()
 	}
-	return Outcome{Result: e.out.res, Accel: e.out.acc, Trace: e.out.rec}, LookupMiss, e.err
+	return e.out.outcome(), LookupMiss, e.err
 }
 
 // TraceOf returns the recorder of the completed memoized run for key, if the
@@ -493,6 +539,12 @@ func (s *Scheduler) execute(ctx context.Context, key RunKey) (runOutput, error) 
 			if out.acc != nil {
 				s.pltLearned.Add(out.acc.Summary().Learned)
 			}
+			if out.smp != nil {
+				rep := out.smp.Report()
+				s.sampledRuns.Add(1)
+				s.sampleDet.Add(rep.Detailed)
+				s.sampleExtrap.Add(rep.Extrapolated)
+			}
 			s.warmSave(key, out)
 			return out, nil
 		}
@@ -564,6 +616,16 @@ func (s *Scheduler) executeOnce(ctx context.Context, key RunKey, attempt int) (o
 		out.acc = core.NewAccelerator(accelParamsFor(key))
 		opts.Sink = out.acc
 	}
+	if key.Sample != "" {
+		spec, serr := sample.ParseSpec(key.Sample)
+		if serr != nil {
+			return out, serr
+		}
+		// Seeded by the attempt's machine seed: sampling decisions are a pure
+		// function of (key, attempt), like everything else about the run.
+		out.smp = sample.New(spec, opts.Machine.Seed)
+		opts.Sample = out.smp
+	}
 	res, err := workload.Run(key.Bench, opts)
 	out.res = res
 	return out, err
@@ -597,8 +659,11 @@ func accelParamsFor(key RunKey) core.Params {
 // --- warm-start store -------------------------------------------------------
 
 // warmEligible: only Accelerated runs carry learned state worth persisting.
+// Sampled runs are excluded: their statistics depend on the sampler's
+// estimator, the snapshot identity does not encode the sampling spec, and a
+// stats-only replay would drop the run's Report (the error-bar contract).
 func (s *Scheduler) warmEligible(key RunKey) bool {
-	return s.warm != nil && key.Mode == machine.Accelerated
+	return s.warm != nil && key.Mode == machine.Accelerated && key.Sample == ""
 }
 
 // warmLearnHash is the snapshot address of key's configuration.
@@ -779,6 +844,10 @@ type RunSpec struct {
 	Scale  float64 // 0 normalizes to 1.0
 	Seed   int64   // 0 normalizes to 1
 	Faults string  // faults.Named plan ("" = none)
+	// Sample is the canonical sampling spec ("" = no sampling). Callers
+	// canonicalize via sample.Canonical before building the spec so that
+	// every spelling of one policy shares a cache entry.
+	Sample string
 	// Strategy selects the re-learning policy for Accelerated runs.
 	Strategy core.Strategy
 	// Watchdog arms the divergence watchdog on Accelerated runs, so the
@@ -798,7 +867,7 @@ func (sp RunSpec) Key() RunKey {
 		sp.Seed = 1
 	}
 	k := RunKey{Bench: sp.Bench, Mode: sp.Mode, L2: sp.L2,
-		Scale: sp.Scale, Seed: sp.Seed, Faults: sp.Faults}
+		Scale: sp.Scale, Seed: sp.Seed, Faults: sp.Faults, Sample: sp.Sample}
 	if sp.Mode == machine.Accelerated {
 		k.OptsHash = uint64(sp.Strategy) + 1
 		if sp.Watchdog {
@@ -814,7 +883,8 @@ func (c Config) benchKey(name string, mode machine.SimMode, l2 int) RunKey {
 	if l2 == defaultL2() {
 		l2 = 0
 	}
-	return RunKey{Bench: name, Mode: mode, L2: l2, Scale: c.Scale, Seed: c.Seed, Faults: c.FaultPlan}
+	return RunKey{Bench: name, Mode: mode, L2: l2, Scale: c.Scale, Seed: c.Seed,
+		Faults: c.FaultPlan, Sample: c.Sample}
 }
 
 // accelKey is the cache key for an Accelerated run under the given

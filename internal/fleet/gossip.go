@@ -68,11 +68,11 @@ type Gossiper struct {
 	quar    map[string]bool // "peer|bench/hash"
 	quarSeq []string        // FIFO eviction order
 
-	mCycles    *trace.Counter
-	mImported  *trace.Counter
-	mRejected  *trace.Counter
-	mPeerErrs  *trace.Counter
-	mBytes     *trace.Counter
+	mCycles     *trace.Counter
+	mImported   *trace.Counter
+	mRejected   *trace.Counter
+	mPeerErrs   *trace.Counter
+	mBytes      *trace.Counter
 	gQuarantine *trace.Gauge
 }
 

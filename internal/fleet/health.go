@@ -62,10 +62,10 @@ type Health struct {
 	mu     sync.Mutex
 	states map[string]*backendState
 
-	mEjections   *trace.Counter
-	mReadmits    *trace.Counter
-	mProbeFails  *trace.Counter
-	gHealthy     *trace.Gauge
+	mEjections  *trace.Counter
+	mReadmits   *trace.Counter
+	mProbeFails *trace.Counter
+	gHealthy    *trace.Gauge
 }
 
 type backendState struct {

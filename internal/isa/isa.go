@@ -69,6 +69,10 @@ const (
 	KindSyscall   ServiceKind = iota // synchronous, requested by the application
 	KindInterrupt                    // asynchronous, external device
 	KindException                    // synchronous fault (page fault, FP trap, ...)
+	// KindApp is the pseudo-kind under which sampled application intervals
+	// (user-mode stretches between OS services) are reported in traces and
+	// phantom working sets. It never causes a real mode switch.
+	KindApp
 )
 
 // ServiceID identifies an OS service type: a (kind, number) pair.
@@ -88,6 +92,10 @@ func Irq(n uint16) ServiceID { return ServiceID{KindInterrupt, n} }
 
 // Exc returns the ServiceID for exception vector n.
 func Exc(n uint16) ServiceID { return ServiceID{KindException, n} }
+
+// App returns the pseudo ServiceID of application intervals (stratified
+// sampling's trace spans and phantom working sets key off it).
+func App() ServiceID { return ServiceID{KindApp, 0} }
 
 // Linux 2.6 i386 system call numbers used by the simulated kernel.
 const (
@@ -184,6 +192,8 @@ func (s ServiceID) String() string {
 		return fmt.Sprintf("sys_%d", s.Num)
 	case KindInterrupt:
 		return fmt.Sprintf("Int_%d", s.Num)
+	case KindApp:
+		return "app"
 	default:
 		if n, ok := excNames[s.Num]; ok {
 			return "exc_" + n

@@ -24,8 +24,8 @@ type Disk struct {
 	// indexes the next request to complete. completed holds requests whose
 	// events fired but whose IRQ body has not yet reaped them. pagePool
 	// recycles the page-list backings of reaped requests.
-	inflight []dreq
-	head     int
+	inflight  []dreq
+	head      int
 	completed []dreq
 	pagePool  [][]*Page
 	op        machine.EventOp

@@ -209,6 +209,15 @@ func (m *Machine) AdvanceIdle() bool {
 	if len(m.events) == 0 {
 		return false
 	}
+	// An idle gap ends any open application interval: the CPU is waiting, not
+	// executing user code, and idle time depends on global machine state — if
+	// it leaked into app intervals, their cycle counts would be dominated by
+	// wait time no per-instruction estimator could predict. App intervals are
+	// therefore maximal user-mode stretches *between* idle gaps; a new one
+	// opens at the next user-mode instruction.
+	if m.appOpen {
+		m.closeAppInterval()
+	}
 	at := m.events[0].at
 	if at > m.core.Now() {
 		m.core.SkipTo(at)

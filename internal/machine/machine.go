@@ -146,6 +146,26 @@ type IntervalSink interface {
 	OnServiceEnd(svc isa.ServiceID, sig Signature, meas *Measurement) *Prediction
 }
 
+// AppSink is the stratified-sampling subsystem's hook into the machine — the
+// application-side mirror of IntervalSink. An application interval is one
+// user-mode execution stretch (kernel depth 0) between OS service intervals.
+// OnAppStart is called when such a stretch begins and decides whether it is
+// simulated in detail or fast-forwarded; for fast-forwarded intervals it also
+// supplies the estimated CPI driving the virtual clock, exactly as the OS
+// path does. OnAppEnd is called when the stretch ends (an OS service opens,
+// or the run finishes): with the detailed measurement when the interval was
+// simulated, or with meas == nil when it was fast-forwarded — in which case
+// it must return the extrapolated Prediction (nil falls back to IPC 1).
+//
+// Memory contract: identical to IntervalSink — the *Measurement points into
+// the per-machine scratch buffer and the returned *Prediction is consumed
+// before OnAppEnd is called again; neither side may retain the other's
+// pointer past the call, and implementations must not allocate per interval.
+type AppSink interface {
+	OnAppStart() (detailed bool, estCPI float64)
+	OnAppEnd(sig Signature, meas *Measurement) *Prediction
+}
+
 // IntervalRecord is the characterization view of one completed interval,
 // delivered to an optional observer (Figs 3–6 are built from these). The
 // Predicted and Meas pointers reference per-machine/per-learner scratch
@@ -170,9 +190,9 @@ type Machine struct {
 	Lay  *memsim.Layout
 
 	events   eventQueue
-	eventSeq uint64               // per-machine tie-break counter for simultaneous events
-	next     uint64               // cycle of earliest pending event (cache of heap head)
-	ops      []func(a, b uint64)  // event dispatch table (RegisterOp / ScheduleOp)
+	eventSeq uint64              // per-machine tie-break counter for simultaneous events
+	next     uint64              // cycle of earliest pending event (cache of heap head)
+	ops      []func(a, b uint64) // event dispatch table (RegisterOp / ScheduleOp)
 
 	// inst is the emitter's scratch instruction: Emitter.emit stages each
 	// dynamic instruction here and passes its address to Exec, so the
@@ -202,6 +222,7 @@ type Machine struct {
 	delivering bool
 
 	sink     IntervalSink
+	appSink  AppSink
 	observer func(IntervalRecord)
 	rec      *trace.Recorder     // nil unless tracing is enabled for the run
 	irq      func(vector uint16) // kernel's interrupt entry
@@ -209,6 +230,21 @@ type Machine struct {
 	startInsts  uint64
 	startCycles uint64
 	startMem    memsys.Snapshot
+
+	// Application-interval state (stratified sampling). An app interval opens
+	// lazily at the first user-mode instruction after the previous OS interval
+	// closed — never eagerly — so idle stretches with no user work produce no
+	// zero-instruction intervals.
+	appOpen        bool
+	appEmulating   bool
+	appSig         Signature
+	appStartInsts  uint64
+	appStartCycles uint64
+	appStartMem    memsys.Snapshot
+	appEmuInsts    uint64 // current app interval's fast-forwarded instructions
+	appEmuTotal    uint64 // total app instructions fast-forwarded
+	appIntervals   uint64
+	appEmulated    uint64
 
 	// Virtual-clock state for emulated intervals: estimated cycles per
 	// instruction and the fractional accumulator applied in chunks.
@@ -289,6 +325,11 @@ func (m *Machine) Core() cpu.Core { return m.core }
 // SetSink attaches the acceleration engine (used with Mode == Accelerated).
 func (m *Machine) SetSink(s IntervalSink) { m.sink = s }
 
+// SetAppSink attaches the application-interval sampling sink. Unlike the OS
+// sink it is honored in every simulation mode: sampling the application side
+// is orthogonal to how the OS side is simulated.
+func (m *Machine) SetAppSink(s AppSink) { m.appSink = s }
+
 // SetObserver attaches a characterization observer receiving every completed
 // OS service interval.
 func (m *Machine) SetObserver(f func(IntervalRecord)) { m.observer = f }
@@ -326,6 +367,9 @@ func (m *Machine) Emulating() bool { return m.emulating }
 // simulation.
 func (m *Machine) skipTiming() bool {
 	if m.emulating && m.inInterval {
+		return true
+	}
+	if m.appEmulating && m.depth == 0 {
 		return true
 	}
 	return m.cfg.Mode == AppOnly && m.depth > 0
@@ -406,6 +450,9 @@ func (m *Machine) Exec(in *isa.Inst) {
 		owner = cache.OwnerOS
 	} else {
 		m.userInsts++
+		if m.appSink != nil && !m.appOpen {
+			m.openAppInterval()
+		}
 	}
 	if m.inInterval {
 		m.curSig.Insts++
@@ -417,6 +464,16 @@ func (m *Machine) Exec(in *isa.Inst) {
 		case isa.BRANCH:
 			m.curSig.Branches++
 		}
+	} else if m.appOpen && m.depth == 0 {
+		m.appSig.Insts++
+		switch in.Op {
+		case isa.LOAD:
+			m.appSig.Loads++
+		case isa.STORE:
+			m.appSig.Stores++
+		case isa.BRANCH:
+			m.appSig.Branches++
+		}
 	}
 	if m.skipTiming() {
 		if m.emulating {
@@ -427,18 +484,31 @@ func (m *Machine) Exec(in *isa.Inst) {
 			// estimate is deliberately conservative (90% of the service's
 			// mean CPI): the cluster prediction tops up the remainder at
 			// interval close, whereas an overshoot could not be taken back.
-			m.virtFrac += m.virtCPI
-			if m.virtFrac >= 512 {
-				chunk := uint64(m.virtFrac)
-				m.virtFrac -= float64(chunk)
-				m.core.SkipTo(m.core.Now() + chunk)
-			}
+			m.advanceVirtual()
+		} else if m.appEmulating && m.depth == 0 {
+			m.appEmuInsts++
+			m.appEmuTotal++
+			// Same conservative virtual clock as OS emulation: the sampler's
+			// prediction tops up the remainder when the app interval closes.
+			m.advanceVirtual()
 		}
 	} else {
 		m.core.Exec(in, owner)
 	}
 	if m.core.Now() >= m.next {
 		m.pollEvents()
+	}
+}
+
+// advanceVirtual applies one instruction's worth of estimated CPI to the
+// virtual clock, flushing whole-cycle chunks into the core so events
+// scheduled inside a fast-forwarded interval see approximately correct time.
+func (m *Machine) advanceVirtual() {
+	m.virtFrac += m.virtCPI
+	if m.virtFrac >= 512 {
+		chunk := uint64(m.virtFrac)
+		m.virtFrac -= float64(chunk)
+		m.core.SkipTo(m.core.Now() + chunk)
 	}
 }
 
@@ -484,6 +554,12 @@ func (m *Machine) SetDepth(d int, svc isa.ServiceID) {
 }
 
 func (m *Machine) openInterval(svc isa.ServiceID, cause trace.Cause) {
+	// An opening OS service interval ends the current application interval:
+	// the two never overlap, and the app prediction's SkipTo lands before the
+	// OS interval snapshots its start cycle.
+	if m.appOpen {
+		m.closeAppInterval()
+	}
 	m.inInterval = true
 	m.curSvc = svc
 	m.curCause = cause
@@ -591,6 +667,126 @@ func (m *Machine) closeInterval() {
 	if m.core.Now() >= m.next {
 		m.pollEvents()
 	}
+}
+
+// openAppInterval starts an application interval at the current user-mode
+// instruction and asks the sampling sink whether to simulate it in detail or
+// fast-forward it under the virtual clock.
+func (m *Machine) openAppInterval() {
+	m.appOpen = true
+	m.appIntervals++
+	m.appSig = Signature{}
+	m.appEmuInsts = 0
+	// Exec has already counted the opening instruction (totalInsts++ happens
+	// before the lazy open), and the interval owns it — hence the -1.
+	m.appStartInsts = m.totalInsts - 1
+	m.appStartCycles = m.core.Now()
+	if m.mem != nil {
+		m.appStartMem = m.mem.Stats()
+	}
+	detailed, cpi := m.appSink.OnAppStart()
+	m.appEmulating = !detailed
+	if m.appEmulating {
+		m.appEmulated++
+		if cpi <= 0 {
+			cpi = 1
+		}
+		m.virtCPI = cpi * 0.9
+		m.virtFrac = 0
+	}
+}
+
+// closeAppInterval ends the open application interval: a fast-forwarded
+// interval receives the sampler's extrapolated prediction (remaining cycles
+// applied via SkipTo, cache pollution + bus occupancy replayed exactly like
+// an emulated OS service); a detailed one is measured and fed back as a
+// stratum representative. Events that came due during the skip are NOT
+// polled here: the common call site is openInterval (an OS service is about
+// to start), and delivering an interrupt from under a half-opened interval
+// would nest mode switches incorrectly. The next Exec polls them within a
+// few instructions, deterministically.
+func (m *Machine) closeAppInterval() {
+	if !m.appOpen {
+		return
+	}
+	m.appOpen = false
+	emulated := m.appEmulating
+	m.appEmulating = false
+	if emulated {
+		insts := m.appEmuInsts
+		var pred *Prediction
+		if m.appSink != nil {
+			pred = m.appSink.OnAppEnd(m.appSig, nil)
+		}
+		if pred == nil {
+			// Degenerate fallback (IPC 1), staged in the machine's scratch.
+			m.predScratch = Prediction{Cycles: insts}
+			pred = &m.predScratch
+		}
+		// As with OS emulation, simulated time may already have advanced
+		// during the fast-forward (device events fire at real times), so only
+		// the remainder of the predicted duration is applied.
+		elapsed := m.core.Now() - m.appStartCycles
+		add := uint64(0)
+		if pred.Cycles > elapsed {
+			add = pred.Cycles - elapsed
+		}
+		m.core.SkipTo(m.core.Now() + add)
+		m.predCycles += add
+		m.pred.Cycles += pred.Cycles
+		m.pred.L1IMisses += pred.L1IMisses
+		m.pred.L1DMisses += pred.L1DMisses
+		m.pred.L2Misses += pred.L2Misses
+		m.pred.L1IAccesses += pred.L1IAccesses
+		m.pred.L1DAccesses += pred.L1DAccesses
+		m.pred.L2Accesses += pred.L2Accesses
+		if m.mem != nil {
+			if !m.cfg.NoPollution {
+				m.mem.TouchPhantoms(m.phantomBase(isa.App()),
+					int(pred.L1IMisses), int(pred.L1DMisses), int(pred.L2Misses))
+			}
+			if !m.cfg.NoBusInjection {
+				m.mem.InjectBusTraffic(int(pred.L2Misses+pred.L2Writebacks), m.appStartCycles)
+			}
+		}
+		if m.rec != nil {
+			m.rec.Interval(isa.App(), trace.CauseApp, m.appStartCycles, pred.Cycles, insts, true)
+		}
+	} else {
+		m.measScratch = Measurement{
+			Insts:  m.totalInsts - m.appStartInsts,
+			Cycles: m.core.Now() - m.appStartCycles,
+		}
+		if m.mem != nil {
+			d := m.mem.Stats().Sub(m.appStartMem)
+			m.measScratch.L1I, m.measScratch.L1D, m.measScratch.L2 = d.L1I, d.L1D, d.L2
+		}
+		if m.appSink != nil {
+			m.appSink.OnAppEnd(m.appSig, &m.measScratch)
+		}
+		if m.rec != nil {
+			m.rec.Interval(isa.App(), trace.CauseApp, m.appStartCycles,
+				m.measScratch.Cycles, m.measScratch.Insts, false)
+		}
+	}
+	if PoisonPools {
+		// Same scrub as closeInterval: retained scratch pointers read loud
+		// garbage in the poison suites.
+		m.measScratch = Measurement{Insts: PoisonPattern, Cycles: PoisonPattern}
+		m.predScratch = Prediction{Cycles: PoisonPattern, L2Misses: PoisonPattern}
+	}
+}
+
+// FinishApp closes any open application interval. The workload runner calls
+// it once after the kernel exits so the final user-mode stretch is measured
+// or extrapolated like any other; without an attached AppSink it is a no-op.
+func (m *Machine) FinishApp() { m.closeAppInterval() }
+
+// AppIntervalStats reports the application-interval counters: total app
+// intervals opened, how many were fast-forwarded, and the total instructions
+// fast-forwarded on the application side.
+func (m *Machine) AppIntervalStats() (intervals, emulated, emuInsts uint64) {
+	return m.appIntervals, m.appEmulated, m.appEmuTotal
 }
 
 // phantomBase returns the service's stable phantom working-set base,

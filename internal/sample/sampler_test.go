@@ -1,0 +1,287 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"fssim/internal/machine"
+)
+
+// measFor builds a detailed measurement with the given instruction count and
+// CPI.
+func measFor(insts uint64, cpi float64) machine.Measurement {
+	return machine.Measurement{Insts: insts, Cycles: uint64(float64(insts) * cpi)}
+}
+
+// feed drives one synthetic app interval through the sampler's full
+// start/end protocol, honoring its detailed/emulated decision, and reports
+// which path was taken.
+func feed(s *Sampler, insts uint64, cpi float64) (detailed bool) {
+	sig := machine.Signature{Insts: insts}
+	det, _ := s.OnAppStart()
+	if det {
+		m := measFor(insts, cpi)
+		s.OnAppEnd(sig, &m)
+		return true
+	}
+	s.OnAppEnd(sig, nil)
+	return false
+}
+
+// synthetic emits the interval stream the sampler is designed for: a
+// deterministic rotation of big user-mode stretches separated by short runs
+// of one-instruction boundary stretches of varying length.
+func synthetic(n int) []struct {
+	insts uint64
+	cpi   float64
+} {
+	out := make([]struct {
+		insts uint64
+		cpi   float64
+	}, 0, n)
+	bigs := []struct {
+		insts uint64
+		cpi   float64
+	}{{400, 2.0}, {150, 3.0}, {90, 2.5}}
+	gap := 0
+	for len(out) < n {
+		b := bigs[gap%len(bigs)]
+		out = append(out, b)
+		for i := 0; i < 3+gap%3 && len(out) < n; i++ {
+			out = append(out, struct {
+				insts uint64
+				cpi   float64
+			}{1, 40})
+		}
+		gap++
+	}
+	return out
+}
+
+func TestPilotPhaseAllDetailed(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Pilot = 8
+	s := New(spec, 1)
+	for i := 0; i < spec.Pilot; i++ {
+		if det, _ := s.OnAppStart(); !det {
+			t.Fatalf("interval %d inside the pilot phase was not detailed", i)
+		}
+		m := measFor(100, 2)
+		s.OnAppEnd(machine.Signature{Insts: 100}, &m)
+	}
+	if r := s.Report(); r.Detailed != int64(spec.Pilot) || r.Extrapolated != 0 {
+		t.Errorf("after pilot: %d detailed + %d extrapolated, want %d + 0",
+			r.Detailed, r.Extrapolated, spec.Pilot)
+	}
+}
+
+func TestDeferredObservesNothing(t *testing.T) {
+	s := New(DefaultSpec(), 1)
+	s.Defer()
+	for i := 0; i < 50; i++ {
+		if det, _ := s.OnAppStart(); !det {
+			t.Fatal("deferred sampler emulated an interval")
+		}
+		m := measFor(100, 2)
+		if p := s.OnAppEnd(machine.Signature{Insts: 100}, &m); p != nil {
+			t.Fatal("deferred sampler returned a prediction")
+		}
+	}
+	if r := s.Report(); r.Intervals != 0 || r.Strata != 0 {
+		t.Errorf("deferred sampler recorded state: %+v", r)
+	}
+	s.Arm()
+	feed(s, 100, 2)
+	if r := s.Report(); r.Detailed != 1 {
+		t.Errorf("armed sampler did not observe: %+v", r)
+	}
+}
+
+// TestWindowRing pins the windowed estimator: a stratum's moments cover only
+// the last Budget representatives, so a drifted stratum forgets its
+// cold-start samples once the ring wraps.
+func TestWindowRing(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Budget = 2
+	s := New(spec, 1)
+	s.ensure(0)
+	for _, v := range []float64{100, 100, 2, 4} {
+		s.winPush(0, v)
+	}
+	m := s.winMoments(0)
+	if m.N != 2 {
+		t.Fatalf("window N = %d, want 2 (budget)", m.N)
+	}
+	if m.Mean != 3 {
+		t.Errorf("window mean = %v, want 3 (last two samples), not the cold-start 100s", m.Mean)
+	}
+	if s.winN[0] != 4 {
+		t.Errorf("winN = %d, want 4 (all-time count)", s.winN[0])
+	}
+}
+
+// TestSampledFlow runs the synthetic stream end to end: the sampler must
+// extrapolate most intervals after the pilot, account every interval exactly
+// once, and produce a finite confidence interval.
+func TestSampledFlow(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Pilot = 32
+	spec.Budget = 4
+	spec.Refresh = 32
+	s := New(spec, 7)
+	stream := synthetic(800)
+	for _, iv := range stream {
+		feed(s, iv.insts, iv.cpi)
+	}
+	r := s.Report()
+	if r.Intervals != int64(len(stream)) {
+		t.Fatalf("accounted %d intervals, want %d", r.Intervals, len(stream))
+	}
+	if r.Extrapolated == 0 {
+		t.Fatal("nothing extrapolated")
+	}
+	if red := r.Reduction(); red < 2 {
+		t.Errorf("reduction %.2fx on the designed-for stream, want >= 2x", red)
+	}
+	if math.IsNaN(r.CIHalf) || math.IsInf(r.CIHalf, 0) || r.CIHalf < 0 {
+		t.Errorf("CIHalf = %v, want finite >= 0", r.CIHalf)
+	}
+	if r.ExtraCycles <= 0 {
+		t.Errorf("ExtraCycles = %v, want > 0", r.ExtraCycles)
+	}
+	var det, extra int64
+	for _, sr := range r.PerStratum {
+		det += sr.Detailed
+		if sr.MeanCPI < 0 {
+			t.Errorf("stratum %+v: negative mean CPI", sr)
+		}
+		_ = extra
+	}
+	if det != r.Detailed {
+		t.Errorf("per-stratum detailed sums to %d, total says %d", det, r.Detailed)
+	}
+}
+
+// TestSamplerDeterminism runs the identical stream through two fresh samplers
+// with the same seed: every per-interval decision and the final report must
+// match — the unit-level form of the suite's j1-vs-j8 byte-identity contract.
+// A third sampler with a different seed must still account every interval.
+func TestSamplerDeterminism(t *testing.T) {
+	run := func(seed int64) ([]bool, Report) {
+		spec := DefaultSpec()
+		spec.Pilot = 32
+		s := New(spec, seed)
+		var decisions []bool
+		for _, iv := range synthetic(600) {
+			decisions = append(decisions, feed(s, iv.insts, iv.cpi))
+		}
+		return decisions, s.Report()
+	}
+	d1, r1 := run(42)
+	d2, r2 := run(42)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("interval %d decided differently across identical runs", i)
+		}
+	}
+	if r1.Detailed != r2.Detailed || r1.Extrapolated != r2.Extrapolated ||
+		r1.ExtraCycles != r2.ExtraCycles || r1.CIHalf != r2.CIHalf {
+		t.Errorf("reports differ across identical runs:\n%+v\n%+v", r1, r2)
+	}
+	_, r3 := run(43)
+	if r3.Intervals != r1.Intervals {
+		t.Errorf("seed change lost intervals: %d vs %d", r3.Intervals, r1.Intervals)
+	}
+}
+
+// TestEstCPIUsesMinimumTrustedStratum pins the conservative pacing rule: the
+// virtual-clock CPI for a fast-forwarded interval is the smallest trusted
+// window mean, because an overshot virtual clock can never be wound back
+// while an undershoot is topped up by the close-time prediction.
+func TestEstCPIUsesMinimumTrustedStratum(t *testing.T) {
+	s := New(DefaultSpec(), 1)
+	for i := 0; i < 3; i++ {
+		m := measFor(100, 2)
+		s.OnAppEnd(machine.Signature{Insts: 100}, &m)
+		m2 := measFor(1000, 5)
+		s.OnAppEnd(machine.Signature{Insts: 1000}, &m2)
+	}
+	if got := s.estCPI(); got != 2 {
+		t.Errorf("estCPI = %v, want 2 (minimum trusted stratum mean)", got)
+	}
+}
+
+func TestPickDetailedPureAndRated(t *testing.T) {
+	if PickDetailed(1, 5, 0) {
+		t.Error("every=0 must disable refresh picks")
+	}
+	if !PickDetailed(1, 5, 1) {
+		t.Error("every=1 must pick everything")
+	}
+	const every = 64
+	n := 0
+	for idx := uint64(0); idx < 100_000; idx++ {
+		a := PickDetailed(12345, idx, every)
+		if b := PickDetailed(12345, idx, every); a != b {
+			t.Fatalf("PickDetailed not pure at idx %d", idx)
+		}
+		if a {
+			n++
+		}
+	}
+	want := 100_000 / every
+	if n < want/2 || n > want*2 {
+		t.Errorf("refresh rate %d picks per 100k, want about %d", n, want)
+	}
+	// Different seeds pick different sets (the property that makes the choice
+	// a function of the seed, not of the index alone).
+	same := 0
+	for idx := uint64(0); idx < 10_000; idx++ {
+		if PickDetailed(1, idx, every) == PickDetailed(2, idx, every) {
+			same++
+		}
+	}
+	if same == 10_000 {
+		t.Error("seed does not influence the refresh pick")
+	}
+}
+
+// FuzzStratumAssign fuzzes the stratification invariants: after any
+// observation history, every signature lands in exactly one stratum (a valid
+// index when any stratum exists, -1 only on an empty table), assignment is a
+// pure read (no mutation, same answer twice), and the representative choice
+// is a pure function of the seed.
+func FuzzStratumAssign(f *testing.F) {
+	f.Add(int64(1), uint64(100), uint64(10), uint64(5), uint64(3))
+	f.Add(int64(42), uint64(1), uint64(0), uint64(0), uint64(0))
+	f.Add(int64(-7), uint64(1<<40), uint64(1<<20), uint64(1<<20), uint64(1<<10))
+	f.Fuzz(func(t *testing.T, seed int64, insts, loads, stores, branches uint64) {
+		spec := DefaultSpec()
+		spec.Pilot = 4
+		s := New(spec, seed)
+		// Observation history derived from the fuzz inputs: a spread of
+		// interval lengths plus the fuzzed signature itself.
+		for i, base := range []uint64{1, 16, 400, insts%100_000 + 1} {
+			m := measFor(base, float64(i+2))
+			s.OnAppEnd(machine.Signature{Insts: base}, &m)
+		}
+		sig := machine.Signature{Insts: insts, Loads: loads, Stores: stores, Branches: branches}
+		i1 := s.Assign(sig)
+		i2 := s.Assign(sig)
+		if i1 != i2 {
+			t.Fatalf("Assign not pure: %d then %d", i1, i2)
+		}
+		n := s.Strata()
+		if n > 0 && (i1 < 0 || i1 >= n) {
+			t.Fatalf("Assign = %d outside [0, %d): interval not in exactly one stratum", i1, n)
+		}
+		if n == 0 && i1 != -1 {
+			t.Fatalf("Assign = %d on an empty table, want -1", i1)
+		}
+		for idx := uint64(0); idx < 64; idx++ {
+			if PickDetailed(seed, idx, spec.Refresh) != PickDetailed(seed, idx, spec.Refresh) {
+				t.Fatalf("representative choice not a pure function of seed at idx %d", idx)
+			}
+		}
+	})
+}

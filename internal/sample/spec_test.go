@@ -1,0 +1,85 @@
+package sample
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		sp, err := ParseSpec(name)
+		if err != nil {
+			t.Fatalf("preset %q rejected: %v", name, err)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+	if sp, err := ParseSpec("default"); err != nil || sp != DefaultSpec() {
+		t.Errorf("ParseSpec(default) = %+v, %v; want DefaultSpec", sp, err)
+	}
+	// Presets are case-insensitive; key=value lists override preset fields.
+	sp, err := ParseSpec("Fast,budget=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Budget != 6 || sp.Pilot != presets["fast"].Pilot {
+		t.Errorf("preset+override = %+v, want fast with budget 6", sp)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                // empty: "no sampling" is the absence of a spec
+		"nosuchpreset",    // unknown preset
+		"budget=4,fast",   // preset after overrides
+		"budget=4,,min=2", // empty element
+		"budget=x",        // unparsable value
+		"budget=0",        // budget >= 1
+		"min=0",           // min >= 1
+		"budget=4,min=5",  // min <= budget
+		"pilot=0",         // pilot >= 1
+		"range=0",         // range in (0, 0.5]
+		"range=0.6",       //
+		"refresh=-1",      // refresh >= 0
+		"color=red",       // unknown key
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestCanonicalStable pins the cache-key contract: every spelling of one
+// policy canonicalizes to the same string, and canonicalization is a fixed
+// point (Canonical of a canonical string returns it unchanged).
+func TestCanonicalStable(t *testing.T) {
+	def, err := Canonical("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled, err := Canonical(" budget=8, min=2 ,pilot=64,range=0.05,refresh=64 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != spelled {
+		t.Errorf("default %q != spelled-out %q", def, spelled)
+	}
+	again, err := Canonical(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != def {
+		t.Errorf("Canonical not a fixed point: %q -> %q", def, again)
+	}
+	if strings.Contains(def, "mix") {
+		t.Errorf("mix=false must not render: %q", def)
+	}
+	withMix, err := Canonical("default,mix=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(withMix, ",mix=true") {
+		t.Errorf("mix=true missing from canonical form: %q", withMix)
+	}
+}

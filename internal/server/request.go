@@ -12,6 +12,7 @@ import (
 	"fssim/internal/experiments"
 	"fssim/internal/faults"
 	"fssim/internal/machine"
+	"fssim/internal/sample"
 	"fssim/internal/workload"
 )
 
@@ -43,6 +44,11 @@ type RunRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Faults names a fault plan injected into the run ("" = none).
 	Faults string `json:"faults,omitempty"`
+	// Sample attaches an application-interval stratified sampler: a preset
+	// ("default", "fast", "precise") or a key=value spec ("" = no sampling).
+	// The spec is canonicalized before keying, so any spelling of one policy
+	// shares one simulation and one byte-identical response.
+	Sample string `json:"sample,omitempty"`
 	// DeadlineMS caps how long this request waits for its result, in
 	// milliseconds (0 = server default; capped at the server default).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
@@ -121,6 +127,11 @@ func (q RunRequest) Validate() error {
 			return err
 		}
 	}
+	if q.Sample != "" {
+		if _, err := sample.Canonical(q.Sample); err != nil {
+			return err
+		}
+	}
 	if q.DeadlineMS < 0 {
 		return fmt.Errorf("deadline_ms must be non-negative, got %d", q.DeadlineMS)
 	}
@@ -139,6 +150,13 @@ func (q RunRequest) spec(defaultScale float64, defaultSeed int64) (experiments.R
 	if err != nil {
 		return experiments.RunSpec{}, err
 	}
+	smp := ""
+	if q.Sample != "" {
+		smp, err = sample.Canonical(q.Sample)
+		if err != nil {
+			return experiments.RunSpec{}, err
+		}
+	}
 	sp := experiments.RunSpec{
 		Bench:    q.Benchmark,
 		Mode:     mode,
@@ -146,6 +164,7 @@ func (q RunRequest) spec(defaultScale float64, defaultSeed int64) (experiments.R
 		Scale:    q.Scale,
 		Seed:     q.Seed,
 		Faults:   q.Faults,
+		Sample:   smp,
 		Strategy: strat,
 		Watchdog: mode == machine.Accelerated,
 	}
@@ -190,6 +209,20 @@ type RunResponse struct {
 	// Degraded reports that the divergence watchdog demoted at least one
 	// service to detailed simulation during the run (accel runs only).
 	Degraded bool `json:"degraded,omitempty"`
+	// Sample summarizes the stratified-sampling estimator (sampled runs only).
+	Sample *SampleInfo `json:"sample,omitempty"`
+}
+
+// SampleInfo is the response view of a sampled run's estimator report: the
+// detailed/extrapolated split, the app-side reduction factor, and the 95%
+// confidence half-width on total cycles — every field a pure function of the
+// run's cache key.
+type SampleInfo struct {
+	Strata       int     `json:"strata"`
+	Detailed     int64   `json:"detailed"`
+	Extrapolated int64   `json:"extrapolated"`
+	Reduction    float64 `json:"reduction"`
+	CIRel        float64 `json:"ci_rel"` // CI half-width / total cycles
 }
 
 // RunID derives the deterministic public id of a cache key: identical

@@ -519,6 +519,15 @@ func (s *Server) responseBody(id string, key experiments.RunKey, out experiments
 		Coverage:  out.Result.Stats.Coverage(),
 		Degraded:  degraded,
 	}
+	if rep := out.Sample; rep != nil {
+		resp.Sample = &SampleInfo{
+			Strata:       rep.Strata,
+			Detailed:     rep.Detailed,
+			Extrapolated: rep.Extrapolated,
+			Reduction:    rep.Reduction(),
+			CIRel:        rep.RelCI(out.Result.Stats.Cycles),
+		}
+	}
 	body, err = json.Marshal(resp)
 	if err != nil {
 		return nil, degraded, err

@@ -639,6 +639,7 @@ func TestBadRequests(t *testing.T) {
 		"unknown mode":     `{"benchmark":"srv-ok","mode":"warp"}`,
 		"unknown strategy": `{"benchmark":"srv-ok","mode":"accel","strategy":"vibes"}`,
 		"unknown faults":   `{"benchmark":"srv-ok","faults":"apocalypse"}`,
+		"bad sample spec":  `{"benchmark":"srv-ok","sample":"budget=0"}`,
 		"huge scale":       `{"benchmark":"srv-ok","scale":1000}`,
 		"negative seed":    `{"benchmark":"srv-ok","seed":-1}`,
 		"trailing":         `{"benchmark":"srv-ok"} garbage`,
@@ -724,6 +725,48 @@ func TestMetricsEndpoint(t *testing.T) {
 
 // TestDeterministicRunID: ids are a pure function of the request, and
 // distinct requests get distinct ids.
+// TestSampledRun: a request with a sampling spec is a distinct cache entry
+// from its unsampled twin, reports the estimator's split and CI in the
+// response, and every spelling of one policy shares a run id (and therefore
+// a memo entry and a fleet ring position).
+func TestSampledRun(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	req := RunRequest{Benchmark: "ab-rand", Mode: "full", Scale: 0.25, Seed: 1}
+	plain, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Response.Sample != nil {
+		t.Error("unsampled response carries sample info")
+	}
+	req.Sample = "default"
+	sampled, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Response.ID == plain.Response.ID {
+		t.Error("sampled and unsampled runs share an id")
+	}
+	if sampled.Response.Sample == nil {
+		t.Fatal("sampled response missing sample info")
+	}
+	if sampled.Response.Sample.Detailed <= 0 || sampled.Response.Sample.Extrapolated <= 0 {
+		t.Errorf("degenerate sampled split: %+v", sampled.Response.Sample)
+	}
+	if sampled.Response.Sample.Reduction <= 1 {
+		t.Errorf("reduction %.2f, want > 1", sampled.Response.Sample.Reduction)
+	}
+	req.Sample = "budget=8,min=2,pilot=64,range=0.05,refresh=64" // "default", spelled out
+	spelled, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spelled.Response.ID != sampled.Response.ID {
+		t.Error("spellings of one sampling policy produced distinct run ids")
+	}
+}
+
 func TestDeterministicRunID(t *testing.T) {
 	k1 := experiments.RunSpec{Bench: "srv-ok", Scale: 0.1, Seed: 1}.Key()
 	k2 := experiments.RunSpec{Bench: "srv-ok", Scale: 0.1, Seed: 1}.Key()

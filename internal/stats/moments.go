@@ -1,5 +1,7 @@
 package stats
 
+import "math"
+
 // Moments is the exported, serialization-friendly form of a Welford
 // accumulator: observation count, sample mean, and the sum of squared
 // deviations from the mean (M2). It is the on-disk representation the PLT
@@ -40,6 +42,23 @@ func (m Moments) Var() float64 {
 		return 0
 	}
 	return m.M2 / float64(m.N-1)
+}
+
+// CI95Half returns the half-width of the two-sided 95% confidence interval
+// on the mean: t_(N-1, 0.025) * sqrt(Var/N). It is always well-defined —
+// never NaN or Inf: a single observation or a zero-variance stratum has no
+// measurable spread, so its half-width is 0 and the caller's error bar
+// degrades gracefully instead of poisoning a whole table. Callers that need
+// to distinguish "no spread" from "no information" check N themselves.
+func (m Moments) CI95Half() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	v := m.Var()
+	if v <= 0 {
+		return 0
+	}
+	return TTwoSided95(int(m.N-1)) * math.Sqrt(v/float64(m.N))
 }
 
 // Moments returns the accumulator's exported moments — the serializable view

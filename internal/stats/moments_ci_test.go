@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCI95HalfEdgeCases pins the confidence-interval contract the sampling
+// estimator leans on: CI95Half is well-defined — never NaN or Inf — for every
+// degenerate accumulator a stratum can produce (empty, single observation,
+// zero variance), and positive exactly when there is measurable spread over
+// at least two observations.
+func TestCI95HalfEdgeCases(t *testing.T) {
+	finite := func(name string, m Moments) float64 {
+		t.Helper()
+		h := m.CI95Half()
+		if math.IsNaN(h) || math.IsInf(h, 0) {
+			t.Fatalf("%s: CI95Half = %v, want finite", name, h)
+		}
+		if h < 0 {
+			t.Fatalf("%s: CI95Half = %v, want >= 0", name, h)
+		}
+		return h
+	}
+
+	if h := finite("empty", Moments{}); h != 0 {
+		t.Errorf("empty moments: CI95Half = %v, want 0", h)
+	}
+	var one Welford
+	one.Add(42.5)
+	if h := finite("single", one.Moments()); h != 0 {
+		t.Errorf("single observation: CI95Half = %v, want 0", h)
+	}
+	var flat Welford
+	for i := 0; i < 10; i++ {
+		flat.Add(3.25)
+	}
+	if h := finite("zero-variance", flat.Moments()); h != 0 {
+		t.Errorf("zero-variance stratum: CI95Half = %v, want 0", h)
+	}
+	var spread Welford
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		spread.Add(v)
+	}
+	if h := finite("spread", spread.Moments()); h <= 0 {
+		t.Errorf("spread sample: CI95Half = %v, want > 0", h)
+	}
+	// Negative M2 can only arise from corrupt deserialized state; Var clamps
+	// at the N<2 guard but not above it, so verify the <=0 variance guard.
+	if h := finite("corrupt", Moments{N: 5, Mean: 1, M2: -4}); h != 0 {
+		t.Errorf("negative-M2 moments: CI95Half = %v, want 0", h)
+	}
+}
+
+// TestMergeEmptyPreservesCI verifies that merging with empty moments is the
+// identity in both directions — including for the derived CI — and that a
+// merge of two empties stays empty rather than inventing spread.
+func TestMergeEmptyPreservesCI(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{2, 4, 6, 8} {
+		w.Add(v)
+	}
+	m := w.Moments()
+	for name, got := range map[string]Moments{
+		"m.Merge(empty)": m.Merge(Moments{}),
+		"empty.Merge(m)": (Moments{}).Merge(m),
+	} {
+		if got != m {
+			t.Errorf("%s = %+v, want %+v", name, got, m)
+		}
+		if got.CI95Half() != m.CI95Half() {
+			t.Errorf("%s: CI changed: %v vs %v", name, got.CI95Half(), m.CI95Half())
+		}
+	}
+	both := (Moments{}).Merge(Moments{})
+	if both.N != 0 || both.CI95Half() != 0 {
+		t.Errorf("empty.Merge(empty) = %+v (CI %v), want zero", both, both.CI95Half())
+	}
+	// Merging two single-observation accumulators must produce real variance:
+	// N=1 sides carry M2=0, and the parallel-axis term supplies the spread.
+	var a, b Welford
+	a.Add(1)
+	b.Add(3)
+	ab := a.Moments().Merge(b.Moments())
+	if ab.N != 2 || ab.Mean != 2 {
+		t.Fatalf("merge of singletons: %+v, want N=2 Mean=2", ab)
+	}
+	if v := ab.Var(); v != 2 {
+		t.Errorf("merge of singletons: Var = %v, want 2", v)
+	}
+	if h := ab.CI95Half(); math.IsNaN(h) || h <= 0 {
+		t.Errorf("merge of singletons: CI95Half = %v, want positive finite", h)
+	}
+}

@@ -155,6 +155,37 @@ func TOneSided95(df int) float64 {
 	}
 }
 
+// tTwoSided95 tabulates the two-sided 95% Student-t critical value
+// t_(df, 0.025) for small degrees of freedom; TTwoSided95 falls back to the
+// asymptotic normal value 1.960 for large df. The stratified-sampling
+// estimator multiplies this by a stratum's standard error to produce the
+// ± half-width reported next to every extrapolated figure.
+var tTwoSided95 = []float64{
+	// df = 1 .. 30
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TTwoSided95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom.
+func TTwoSided95(df int) float64 {
+	switch {
+	case df <= 0:
+		return math.Inf(1)
+	case df <= len(tTwoSided95):
+		return tTwoSided95[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}
+
 // TUpperBound95 returns the one-sided 95% upper confidence bound
 // mean + t_(m-1,0.05) * s / sqrt(m) for m observations with sample mean mean
 // and sample standard deviation s (paper Eq 8). With fewer than 2 samples the

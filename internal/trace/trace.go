@@ -36,9 +36,12 @@ const (
 	CauseIRQ
 	CauseException
 	CauseResume
+	// CauseApp marks sampled application-interval spans (user-mode stretches
+	// between OS services, recorded when stratified sampling is active).
+	CauseApp
 )
 
-var causeNames = [...]string{"syscall", "irq", "exception", "resume"}
+var causeNames = [...]string{"syscall", "irq", "exception", "resume", "app"}
 
 func (c Cause) String() string {
 	if int(c) < len(causeNames) {

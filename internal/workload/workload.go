@@ -180,6 +180,12 @@ type Options struct {
 	Sink     machine.IntervalSink
 	Observer func(machine.IntervalRecord)
 
+	// Sample, if non-nil, attaches an application-interval sampling sink
+	// (stratified sampling): user-mode stretches between OS services become
+	// intervals the sink simulates in detail or fast-forwards. Orthogonal to
+	// the OS-side Sink — the two compose.
+	Sample machine.AppSink
+
 	// Trace, if non-nil, attaches an interval recorder to the machine before
 	// the kernel is built, so every subsystem resolves its instruments against
 	// the run's registry. Nil (the default) keeps every instrumentation site a
@@ -247,12 +253,18 @@ func Run(name string, opts Options) (res Result, err error) {
 		m.SetTrace(opts.Trace)
 		res.Trace = opts.Trace
 	}
+	type recorderSetter interface{ SetRecorder(*trace.Recorder) }
 	if opts.Sink != nil {
 		m.SetSink(opts.Sink)
 		// An acceleration engine that understands recorders (the Accelerator
 		// does) annotates spans with PLT outcomes and emits phase instants.
-		type recorderSetter interface{ SetRecorder(*trace.Recorder) }
 		if rs, ok := opts.Sink.(recorderSetter); ok && opts.Trace != nil {
+			rs.SetRecorder(opts.Trace)
+		}
+	}
+	if opts.Sample != nil {
+		m.SetAppSink(opts.Sample)
+		if rs, ok := opts.Sample.(recorderSetter); ok && opts.Trace != nil {
 			rs.SetRecorder(opts.Trace)
 		}
 	}
@@ -279,18 +291,34 @@ func Run(name string, opts Options) (res Result, err error) {
 	// point, so measurement and learning both cover the steady state.
 	if m.HasWarmup() {
 		type armer interface{ Arm() }
-		if a, ok := opts.Sink.(armer); ok {
-			type deferrer interface{ Defer() }
-			if d, ok := opts.Sink.(deferrer); ok {
+		type deferrer interface{ Defer() }
+		var arms []func()
+		for _, h := range []any{opts.Sink, opts.Sample} {
+			a, ok := h.(armer)
+			if !ok {
+				continue
+			}
+			if d, ok := h.(deferrer); ok {
 				d.Defer()
 			}
-			m.SetWarmCallback(a.Arm)
+			arms = append(arms, a.Arm)
+		}
+		if len(arms) > 0 {
+			arms := arms
+			m.SetWarmCallback(func() {
+				for _, f := range arms {
+					f()
+				}
+			})
 		}
 	}
 	if opts.Prepare != nil {
 		opts.Prepare(k)
 	}
 	err = k.Run()
+	// Close the final user-mode stretch so sampled runs account every
+	// instruction to exactly one interval (no-op without a sampling sink).
+	m.FinishApp()
 	res.Stats = m.Stats()
 	if opts.Trace.Enabled() {
 		res.Metrics = opts.Trace.Metrics().Snapshot()
