@@ -27,8 +27,11 @@
 //	                         # across invocations (tables stay byte-identical)
 //
 // Ctrl-C cancels cleanly: in-flight simulations abort cooperatively, and
-// experiments that already finished are still printed. A run that fails
-// (panic, timeout) is reported per run; every other run completes.
+// experiments that already finished are still printed; the artifact flush is
+// bounded by -drain-timeout, so completed runs' snapshots and traces are
+// persisted without a hung run wedging exit. A second Ctrl-C forces exit 1.
+// A run that fails (panic, timeout) is reported per run; every other run
+// completes.
 package main
 
 import (
@@ -59,6 +62,7 @@ func main() {
 	traceOut := flag.String("trace", "", "record every simulation and export a trace file (.jsonl = JSON lines, anything else = Chrome trace-event JSON for Perfetto)")
 	metricsOut := flag.String("metrics", "", "write per-run metrics registries plus harness counters to this file (- = stdout)")
 	warmDir := flag.String("warm-dir", "", "persist learned PLT snapshots here and replay identical accelerated runs across invocations (empty = off)")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "budget for the exit-time artifact and snapshot flush (runs still executing at the deadline are skipped)")
 	var parallel int
 	flag.IntVar(&parallel, "parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	flag.IntVar(&parallel, "j", 0, "shorthand for -parallel")
@@ -84,9 +88,21 @@ func main() {
 		}
 	}
 	// Ctrl-C cancels the context; in-flight simulations abort cooperatively
-	// and already-finished experiments still render below.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	// and already-finished experiments still render below. A second Ctrl-C
+	// forces immediate exit 1 — the durable write discipline keeps the warm
+	// store consistent even then.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "fsbench: interrupt: canceling in-flight simulations (interrupt again to force exit)")
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "fsbench: second interrupt: forced exit")
+		os.Exit(1)
+	}()
 
 	cfg := experiments.Config{
 		Scale: *scale, Seed: *seed, Parallelism: parallel,
@@ -121,7 +137,10 @@ func main() {
 	// (labeled "!aborted"), so an interrupted invocation still leaves usable
 	// traces and metrics. One artifact failing does not skip the other.
 	if *traceOut != "" || *metricsOut != "" {
-		if werr := server.WriteArtifacts(sched, *traceOut, *metricsOut); werr != nil {
+		fctx, fcancel := context.WithTimeout(context.Background(), *drain)
+		werr := server.WriteArtifactsCtx(fctx, sched, *traceOut, *metricsOut)
+		fcancel()
+		if werr != nil {
 			fmt.Fprintf(os.Stderr, "fsbench: %v\n", werr)
 			os.Exit(1)
 		}
@@ -131,9 +150,13 @@ func main() {
 	}
 	// The authoritative snapshot sweep: when WriteArtifacts didn't run (no
 	// -trace/-metrics), an invocation with a warm dir still leaves every
-	// completed accelerated run's learned table on disk before exiting.
+	// completed accelerated run's learned table on disk before exiting —
+	// bounded by the same drain budget so a wedged run cannot hang exit.
 	if *warmDir != "" && *traceOut == "" && *metricsOut == "" {
-		if _, werr := sched.FlushWarm(); werr != nil {
+		fctx, fcancel := context.WithTimeout(context.Background(), *drain)
+		_, werr := sched.FlushWarmCtx(fctx)
+		fcancel()
+		if werr != nil {
 			fmt.Fprintf(os.Stderr, "fsbench: plt snapshot flush: %v\n", werr)
 		}
 	}

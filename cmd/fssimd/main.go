@@ -32,7 +32,10 @@
 // Retry-After; per-(benchmark, mode) circuit breakers fast-fail 503 under
 // failure storms and recover via half-open probes; SIGTERM/SIGINT stops
 // admission, finishes or cancels in-flight runs within the drain budget,
-// flushes artifacts, and exits 0.
+// flushes artifacts (bounded — completed work is persisted, wedged runs are
+// skipped), and exits 0. A second SIGTERM/SIGINT forces immediate exit 1,
+// and a watchdog forces exit 1 if the drain itself wedges; either way the
+// durable write discipline guarantees the warm store is never torn.
 package main
 
 import (
@@ -54,7 +57,7 @@ func main() {
 	queue := flag.Int("queue", 64, "admission bound: max requests waiting or running; beyond it, 429")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 2*time.Minute, "default and maximum per-request result deadline")
-	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget before in-flight runs are canceled")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget before in-flight runs are canceled (second signal forces exit)")
 	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = the request deadline)")
 	retries := flag.Int("retries", 0, "extra attempts for a failed simulation")
 	scale := flag.Float64("scale", 1.0, "default workload size multiplier for requests that leave scale unset")
@@ -85,9 +88,28 @@ func main() {
 
 	// SIGTERM (orchestrators) and SIGINT (terminals) both start the drain:
 	// stop admitting, resolve in-flight runs against the drain budget, flush
-	// artifacts, exit 0.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// artifacts, exit 0. A second signal — or a wedged drain outliving its
+	// watchdog — forces immediate exit 1: shutdown is always bounded, and the
+	// durable write discipline keeps the warm store consistent either way.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "fssimd: %v: draining (budget %v; signal again to force exit)\n", sig, *drain)
+		cancel()
+		// Watchdog: even if the drain path itself wedges (a run that ignores
+		// cancellation, a hung filesystem), the process still exits. The
+		// budget covers the in-flight wait plus the bounded artifact flush.
+		time.AfterFunc(2*(*drain)+10*time.Second, func() {
+			fmt.Fprintln(os.Stderr, "fssimd: drain watchdog expired: forcing exit")
+			os.Exit(1)
+		})
+		sig = <-sigc
+		fmt.Fprintf(os.Stderr, "fssimd: %v: forced exit\n", sig)
+		os.Exit(1)
+	}()
 
 	s := server.New(cfg)
 

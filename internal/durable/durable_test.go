@@ -1,0 +1,200 @@
+package durable
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicWriteOS(t *testing.T) {
+	dir := t.TempDir()
+	if err := AtomicWrite(OS(), dir, "a.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "a.txt"))
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite is atomic too.
+	if err := AtomicWrite(OS(), dir, "a.txt", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(filepath.Join(dir, "a.txt"))
+	if string(got) != "world" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), TempPrefix) {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestAtomicWriteFileErrorLeavesNoPartial(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "out.json")
+	boom := errors.New("boom")
+	err := AtomicWriteFile(OS(), target, func(w io.Writer) error {
+		io.WriteString(w, "partial bytes that must never be visible")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if _, err := os.Stat(target); !os.IsNotExist(err) {
+		t.Fatalf("target exists after failed export: %v", err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("debris left after failed export: %v", ents)
+	}
+}
+
+func TestAtomicWriteFilePreservesOldOnError(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(target, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := AtomicWriteFile(OS(), target, func(w io.Writer) error {
+		io.WriteString(w, "new")
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	got, _ := os.ReadFile(target)
+	if string(got) != "old" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+}
+
+// TestCrashFSModel pins the replay semantics the explorer depends on:
+// unsynced writes can be dropped or torn, synced writes cannot, and a rename
+// without a directory fsync can be rolled back.
+func TestCrashFSModel(t *testing.T) {
+	c := NewCrashFS()
+	f, err := c.CreateTemp("d", TempPrefix+"*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := f.Name()
+	f.Write([]byte("abcdefgh"))
+	f.Sync()
+	f.Write([]byte("IJKL")) // unsynced tail
+	f.Close()
+
+	states := c.crashStates(c.OpsLen())
+	byVariant := map[string]map[string][]byte{}
+	for _, st := range states {
+		byVariant[st.Point.Variant] = st.Files
+	}
+	if got := string(byVariant["flush-all"][tmp]); got != "abcdefghIJKL" {
+		t.Fatalf("flush-all: %q", got)
+	}
+	if got := string(byVariant["drop-unsynced"][tmp]); got != "abcdefgh" {
+		t.Fatalf("drop-unsynced must keep synced prefix only: %q", got)
+	}
+	if got := string(byVariant["torn-half"][tmp]); got != "abcdefghIJ" {
+		t.Fatalf("torn-half: %q", got)
+	}
+	if got := string(byVariant["torn-bitflip"][tmp]); got == "abcdefghIJ" || len(got) != 10 {
+		t.Fatalf("torn-bitflip must corrupt a byte: %q", got)
+	}
+
+	// Rename without SyncDir: the undone variant restores the temp name.
+	if err := c.Rename(tmp, "d/final"); err != nil {
+		t.Fatal(err)
+	}
+	states = c.crashStates(c.OpsLen())
+	undone := false
+	for _, st := range states {
+		if st.Point.Variant == "rename-undone" {
+			undone = true
+			if _, ok := st.Files["d/final"]; ok {
+				t.Fatal("rename-undone kept the final name")
+			}
+			if got := string(st.Files[tmp]); got != "abcdefghIJKL" {
+				t.Fatalf("rename-undone lost temp content: %q", got)
+			}
+		}
+	}
+	if !undone {
+		t.Fatal("no rename-undone variant before SyncDir")
+	}
+
+	// After SyncDir the rename is durable: no undone variant remains.
+	if err := c.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range c.crashStates(c.OpsLen()) {
+		if st.Point.Variant == "rename-undone" {
+			t.Fatal("rename-undone variant survived a SyncDir")
+		}
+	}
+}
+
+func TestCrashFSFailAfter(t *testing.T) {
+	c := NewCrashFS()
+	c.FailAfter(2) // allow mkdir + create, crash at first write
+	err := AtomicWrite(c, "d", "f", []byte("data"))
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+	if _, err := c.ReadFile("d/f"); err == nil {
+		t.Fatal("final name must not exist after injected crash")
+	}
+}
+
+// TestExplorerCatchesMissingSync proves the explorer has teeth: a write path
+// that renames without fsync admits a crash state where the final name holds
+// torn content.
+func TestExplorerCatchesMissingSync(t *testing.T) {
+	sloppy := func(fsys FS, dir, name string, data []byte) error {
+		fsys.MkdirAll(dir)
+		f, err := fsys.CreateTemp(dir, TempPrefix+"*")
+		if err != nil {
+			return err
+		}
+		f.Write(data)
+		f.Close() // no Sync
+		return fsys.Rename(f.Name(), dir+"/"+name)
+	}
+
+	check := func(c *CrashFS) (sawTorn bool, states int) {
+		for n := 0; n <= c.OpsLen(); n++ {
+			for _, st := range c.crashStates(n) {
+				states++
+				if got, ok := st.Files["d/f"]; ok && len(got) > 0 && string(got) != "full-payload" {
+					sawTorn = true
+				}
+			}
+		}
+		return
+	}
+
+	c := NewCrashFS()
+	if err := sloppy(c, "d", "f", []byte("full-payload")); err != nil {
+		t.Fatal(err)
+	}
+	torn, n := check(c)
+	if !torn {
+		t.Fatalf("sloppy writer admitted no torn final state across %d states", n)
+	}
+
+	c = NewCrashFS()
+	if err := AtomicWrite(c, "d", "f", []byte("full-payload")); err != nil {
+		t.Fatal(err)
+	}
+	torn, n = check(c)
+	if torn {
+		t.Fatalf("AtomicWrite admitted a torn final state (%d states)", n)
+	}
+	if n == 0 {
+		t.Fatal("no states explored")
+	}
+}

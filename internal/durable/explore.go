@@ -1,0 +1,224 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+)
+
+// CrashPoint identifies one simulated crash: the recorded operation log is
+// cut after N ops and the Variant describes what the kernel had flushed at
+// that instant.
+type CrashPoint struct {
+	N       int    // ops applied before the crash
+	Variant string // flush-all | drop-unsynced | torn-half | torn-bitflip | rename-undone
+	Op      string // the last applied op, for diagnostics ("" at N=0)
+}
+
+func (p CrashPoint) String() string {
+	return fmt.Sprintf("crash after op %d (%s) variant=%s", p.N, p.Op, p.Variant)
+}
+
+// inode tracks one file's durable bytes (reached stable storage) versus its
+// cached bytes (would be lost or torn by a crash). Writes only append in
+// this model, so durable is always a prefix of cache.
+type inode struct {
+	durable []byte
+	cache   []byte
+}
+
+type renameRec struct {
+	from, to string
+	prev     []byte // destination content overwritten by the rename
+	hadPrev  bool
+	synced   bool // a SyncDir on the destination dir happened after
+}
+
+// crashStates replays ops[0:n] and returns every on-disk state (path →
+// content) a crash at that instant could leave, one per variant:
+//
+//   - flush-all: the kernel flushed everything before dying — full cache.
+//   - drop-unsynced: every unsynced write is lost; files created but never
+//     fsynced survive as empty (metadata journaled, data lost).
+//   - torn-half: the file with the most recent unsynced write keeps only half
+//     of its unsynced suffix.
+//   - torn-bitflip: torn-half plus a flipped bit in the last surviving byte
+//     (media-level corruption the checksum must catch).
+//   - rename-undone: the most recent rename whose directory was never
+//     fsynced is rolled back — the old destination reappears and the temp
+//     file returns, exactly what a journal replay can do.
+func (c *CrashFS) crashStates(n int) []struct {
+	Point CrashPoint
+	Files map[string][]byte
+} {
+	c.mu.Lock()
+	ops := append([]op(nil), c.ops[:n]...)
+	c.mu.Unlock()
+
+	ns := map[string]*inode{}
+	lastDirty := ""
+	var lastRen *renameRec
+	lastOp := ""
+	for _, o := range ops {
+		lastOp = o.String()
+		switch o.kind {
+		case opCreate:
+			ns[o.path] = &inode{}
+			lastDirty = o.path
+		case opWrite:
+			if ino := ns[o.path]; ino != nil {
+				ino.cache = append(ino.cache, o.data...)
+				lastDirty = o.path
+			}
+		case opSync:
+			if ino := ns[o.path]; ino != nil {
+				ino.durable = append([]byte(nil), ino.cache...)
+				if lastDirty == o.path {
+					lastDirty = ""
+				}
+			}
+		case opRename:
+			ino := ns[o.path]
+			rec := &renameRec{from: o.path, to: o.to}
+			if prev, ok := ns[o.to]; ok {
+				rec.prev, rec.hadPrev = append([]byte(nil), prev.cache...), true
+			}
+			delete(ns, o.path)
+			ns[o.to] = ino
+			lastRen = rec
+			if lastDirty == o.path {
+				lastDirty = o.to
+			}
+		case opRemove:
+			delete(ns, o.path)
+			if lastDirty == o.path {
+				lastDirty = ""
+			}
+			if lastRen != nil && lastRen.to == o.path {
+				lastRen = nil
+			}
+		case opSyncDir:
+			if lastRen != nil && path.Dir(lastRen.to) == o.path {
+				lastRen.synced = true
+			}
+		}
+	}
+
+	clone := func(m map[string][]byte) map[string][]byte {
+		out := make(map[string][]byte, len(m))
+		for k, v := range m {
+			out[k] = append([]byte(nil), v...)
+		}
+		return out
+	}
+
+	flushAll := map[string][]byte{}
+	drop := map[string][]byte{}
+	for name, ino := range ns {
+		flushAll[name] = append([]byte(nil), ino.cache...)
+		drop[name] = append([]byte(nil), ino.durable...)
+	}
+
+	mk := func(variant string, files map[string][]byte) struct {
+		Point CrashPoint
+		Files map[string][]byte
+	} {
+		return struct {
+			Point CrashPoint
+			Files map[string][]byte
+		}{CrashPoint{N: n, Variant: variant, Op: lastOp}, files}
+	}
+
+	states := []struct {
+		Point CrashPoint
+		Files map[string][]byte
+	}{mk("flush-all", flushAll), mk("drop-unsynced", drop)}
+
+	if ino := ns[lastDirty]; lastDirty != "" && ino != nil && len(ino.cache) > len(ino.durable) {
+		tail := ino.cache[len(ino.durable):]
+		torn := clone(flushAll)
+		torn[lastDirty] = append(append([]byte(nil), ino.durable...), tail[:len(tail)/2]...)
+		states = append(states, mk("torn-half", torn))
+		if len(torn[lastDirty]) > 0 {
+			flip := clone(torn)
+			b := append([]byte(nil), torn[lastDirty]...)
+			b[len(b)-1] ^= 0x40
+			flip[lastDirty] = b
+			states = append(states, mk("torn-bitflip", flip))
+		}
+	}
+
+	if lastRen != nil && !lastRen.synced {
+		if moved, ok := flushAll[lastRen.to]; ok {
+			undo := clone(flushAll)
+			if lastRen.hadPrev {
+				undo[lastRen.to] = append([]byte(nil), lastRen.prev...)
+			} else {
+				delete(undo, lastRen.to)
+			}
+			undo[lastRen.from] = append([]byte(nil), moved...)
+			states = append(states, mk("rename-undone", undo))
+		}
+	}
+	return states
+}
+
+// Materialize writes a crash state into dst on the real filesystem. Paths
+// are interpreted relative to root; anything outside root is ignored.
+func Materialize(dst, root string, files map[string][]byte) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	root = path.Clean(root)
+	for p, data := range files {
+		p = path.Clean(p)
+		var rel string
+		if p == root {
+			continue
+		} else if strings.HasPrefix(p, root+"/") {
+			rel = strings.TrimPrefix(p, root+"/")
+		} else {
+			continue
+		}
+		full := filepath.Join(dst, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(full, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Explore enumerates every crash point in the recorded log from op index
+// `from` through the end — every op boundary × every flush variant — and
+// materializes each resulting on-disk state (relative to root) into a fresh
+// subdirectory of scratch, then calls check with it. It returns the number
+// of crash states checked and the first check failure, wrapped with the
+// crash point that produced it.
+func (c *CrashFS) Explore(from int, root, scratch string, check func(CrashPoint, string) error) (int, error) {
+	end := c.OpsLen()
+	if from < 0 {
+		from = 0
+	}
+	count := 0
+	for n := from; n <= end; n++ {
+		for _, st := range c.crashStates(n) {
+			dir := filepath.Join(scratch, fmt.Sprintf("p%04d-%s", n, st.Point.Variant))
+			if err := os.RemoveAll(dir); err != nil {
+				return count, err
+			}
+			if err := Materialize(dir, root, st.Files); err != nil {
+				return count, fmt.Errorf("materializing %s: %w", st.Point, err)
+			}
+			count++
+			if err := check(st.Point, dir); err != nil {
+				return count, fmt.Errorf("%s: %w", st.Point, err)
+			}
+		}
+	}
+	return count, nil
+}

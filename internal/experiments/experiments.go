@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"fssim/internal/durable"
 	"fssim/internal/faults"
 	"fssim/internal/machine"
 	"fssim/internal/sample"
@@ -79,6 +80,11 @@ type Config struct {
 	ctx   context.Context // suite-wide cancellation (WithContext)
 	sched *Scheduler      // shared memo cache + worker pool (set by Run/RunAll)
 	stats *expStats       // per-experiment cache-hit/timing attribution
+
+	// warmFS overrides the warm store's filesystem (nil = the real one).
+	// Test seam: crash-exploration suites inject a durable.CrashFS here to
+	// record and replay every durable operation FlushWarm performs.
+	warmFS durable.FS
 }
 
 // WithContext returns the config with a cancellation context attached: when

@@ -178,6 +178,11 @@ type SchedStats struct {
 	// process actually simulated; replayed runs contribute nothing, so a
 	// fully warm process reports ~0.
 	PLTLearned int64
+	// Startup recovery sweep results (see pltstore.RecoveryReport): orphan
+	// temp files deleted and corrupt/torn snapshots quarantined when the
+	// warm store was opened.
+	WarmRecoveredOrphans     int64
+	WarmRecoveredQuarantined int64
 
 	// Stratified-sampling counters (all zero unless sampled keys were run).
 	SampledRuns        int64 // runs executed with an application-interval sampler
@@ -238,6 +243,8 @@ type Scheduler struct {
 	warmInvalid atomic.Int64
 	warmSaves   atomic.Int64
 	pltLearned  atomic.Int64
+	recOrphans  atomic.Int64
+	recQuar     atomic.Int64
 
 	sampledRuns  atomic.Int64
 	sampleDet    atomic.Int64
@@ -254,7 +261,20 @@ func NewScheduler(cfg Config) *Scheduler {
 		runs:  make(map[RunKey]*runEntry),
 	}
 	if cfg.WarmDir != "" {
-		s.warm = pltstore.Open(cfg.WarmDir)
+		if cfg.warmFS != nil {
+			s.warm = pltstore.OpenFS(cfg.WarmDir, cfg.warmFS)
+		} else {
+			s.warm = pltstore.Open(cfg.WarmDir)
+		}
+		// Startup recovery sweep: delete orphan temps from crashed writers and
+		// quarantine torn/corrupt snapshots so a damaged store degrades to
+		// counted cold starts, never to a wedged or lying warm start.
+		// Best-effort — a sweep error leaves per-load verification as the
+		// safety net.
+		if rep, err := s.warm.Recover(); err == nil {
+			s.recOrphans.Store(int64(rep.Orphans))
+			s.recQuar.Store(int64(rep.Quarantined))
+		}
 	}
 	return s
 }
@@ -279,6 +299,9 @@ func (s *Scheduler) Stats() SchedStats {
 		WarmInvalid: s.warmInvalid.Load(),
 		WarmSaves:   s.warmSaves.Load(),
 		PLTLearned:  s.pltLearned.Load(),
+
+		WarmRecoveredOrphans:     s.recOrphans.Load(),
+		WarmRecoveredQuarantined: s.recQuar.Load(),
 
 		SampledRuns:        s.sampledRuns.Load(),
 		SampleDetailed:     s.sampleDet.Load(),
@@ -734,6 +757,16 @@ func (s *Scheduler) warmSave(key RunKey, out runOutput) {
 // in-flight runs to finish. A scheduler without a warm store is a no-op.
 // The returned count is how many snapshots were written by this sweep.
 func (s *Scheduler) FlushWarm() (int, error) {
+	return s.FlushWarmCtx(context.Background())
+}
+
+// FlushWarmCtx is FlushWarm bounded by ctx: already-completed runs are saved
+// first (each save independently atomic, so every snapshot written is whole
+// progress that survives whatever happens next), then in-flight runs are
+// waited on only until the deadline. Runs still in flight when ctx expires
+// are skipped and reported in the error; everything saved before that stays
+// saved.
+func (s *Scheduler) FlushWarmCtx(ctx context.Context) (int, error) {
 	if s.warm == nil {
 		return 0, nil
 	}
@@ -745,13 +778,9 @@ func (s *Scheduler) FlushWarm() (int, error) {
 	s.mu.Unlock()
 	saved := 0
 	var errs []error
-	for key, e := range entries {
-		if !s.warmEligible(key) {
-			continue
-		}
-		<-e.done
+	save := func(key RunKey, e *runEntry) {
 		if e.err != nil || e.out.acc == nil {
-			continue
+			return
 		}
 		learn := warmLearnHash(key)
 		snap := &pltstore.Snapshot{
@@ -764,10 +793,36 @@ func (s *Scheduler) FlushWarm() (int, error) {
 		}
 		if err := s.warm.Save(snap); err != nil {
 			errs = append(errs, err)
-			continue
+			return
 		}
 		s.warmSaves.Add(1)
 		saved++
+	}
+	// Pass 1: everything already finished is saved unconditionally — a
+	// near-expired deadline still flushes all completed work.
+	var pending []RunKey
+	for key, e := range entries {
+		if !s.warmEligible(key) {
+			continue
+		}
+		select {
+		case <-e.done:
+			save(key, e)
+		default:
+			pending = append(pending, key)
+		}
+	}
+	// Pass 2: wait for in-flight runs, but only as long as ctx allows.
+	for i, key := range pending {
+		e := entries[key]
+		select {
+		case <-e.done:
+			save(key, e)
+		case <-ctx.Done():
+			errs = append(errs, fmt.Errorf("flush deadline: %d in-flight run(s) skipped: %w",
+				len(pending)-i, ctx.Err()))
+			return saved, errors.Join(errs...)
+		}
 	}
 	return saved, errors.Join(errs...)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -22,6 +23,14 @@ type TracedRun struct {
 // untraced runs are omitted), so the listing — and everything exported from
 // it — is a pure function of the run set, independent of parallelism.
 func (s *Scheduler) TracedRuns() []TracedRun {
+	return s.TracedRunsCtx(context.Background())
+}
+
+// TracedRunsCtx is TracedRuns bounded by ctx: completed runs are always
+// listed, while in-flight runs are waited on only until the deadline — runs
+// still executing when ctx expires are omitted rather than blocking a drain
+// forever. With an unexpired ctx the listing is identical to TracedRuns.
+func (s *Scheduler) TracedRunsCtx(ctx context.Context) []TracedRun {
 	s.mu.Lock()
 	entries := make(map[RunKey]*runEntry, len(s.runs))
 	for k, e := range s.runs {
@@ -30,12 +39,29 @@ func (s *Scheduler) TracedRuns() []TracedRun {
 	s.mu.Unlock()
 
 	out := make([]TracedRun, 0, len(entries))
-	for k, e := range entries {
-		<-e.done
-		if e.err != nil || e.out.rec == nil {
-			continue
+	collect := func(k RunKey, e *runEntry) {
+		if e.err == nil && e.out.rec != nil {
+			out = append(out, TracedRun{Key: k, Rec: e.out.rec})
 		}
-		out = append(out, TracedRun{Key: k, Rec: e.out.rec})
+	}
+	var pending []RunKey
+	for k, e := range entries {
+		select {
+		case <-e.done:
+			collect(k, e)
+		default:
+			pending = append(pending, k)
+		}
+	}
+	for _, k := range pending {
+		e := entries[k]
+		select {
+		case <-e.done:
+			collect(k, e)
+		case <-ctx.Done():
+			sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+			return out
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
 	return out
@@ -64,8 +90,14 @@ func abortedLabel(tr TracedRun) string { return tr.Key.String() + " !aborted" }
 // service. Aborted runs' partial traces follow the completed ones, labeled
 // "!aborted". The file loads directly in Perfetto or chrome://tracing.
 func (s *Scheduler) WriteChromeTrace(w io.Writer) error {
+	return s.WriteChromeTraceCtx(context.Background(), w)
+}
+
+// WriteChromeTraceCtx is WriteChromeTrace bounded by ctx: runs still
+// executing at the deadline are omitted instead of blocking the export.
+func (s *Scheduler) WriteChromeTraceCtx(ctx context.Context, w io.Writer) error {
 	x := trace.NewChromeExporter(w)
-	for _, tr := range s.TracedRuns() {
+	for _, tr := range s.TracedRunsCtx(ctx) {
 		if err := x.AddProcess(tr.Key.String(), tr.Rec); err != nil {
 			return err
 		}
@@ -81,7 +113,13 @@ func (s *Scheduler) WriteChromeTrace(w io.Writer) error {
 // WriteJSONLTrace exports every traced run's spans and instants as compact
 // JSON lines tagged with the run key (aborted runs tagged "!aborted").
 func (s *Scheduler) WriteJSONLTrace(w io.Writer) error {
-	for _, tr := range s.TracedRuns() {
+	return s.WriteJSONLTraceCtx(context.Background(), w)
+}
+
+// WriteJSONLTraceCtx is WriteJSONLTrace bounded by ctx (in-flight runs at
+// the deadline are omitted).
+func (s *Scheduler) WriteJSONLTraceCtx(ctx context.Context, w io.Writer) error {
+	for _, tr := range s.TracedRunsCtx(ctx) {
 		if err := trace.WriteJSONL(w, tr.Key.String(), tr.Rec); err != nil {
 			return err
 		}
@@ -100,7 +138,13 @@ func (s *Scheduler) WriteJSONLTrace(w io.Writer) error {
 // name-sorted (simulated quantities only — host timings live in
 // WriteHarnessMetrics).
 func (s *Scheduler) WriteRunMetrics(w io.Writer) error {
-	for _, tr := range s.TracedRuns() {
+	return s.WriteRunMetricsCtx(context.Background(), w)
+}
+
+// WriteRunMetricsCtx is WriteRunMetrics bounded by ctx (in-flight runs at
+// the deadline are omitted).
+func (s *Scheduler) WriteRunMetricsCtx(ctx context.Context, w io.Writer) error {
+	for _, tr := range s.TracedRunsCtx(ctx) {
 		if _, err := fmt.Fprintf(w, "# run %s\n", tr.Key); err != nil {
 			return err
 		}
@@ -145,7 +189,9 @@ func (s *Scheduler) WriteHarnessMetrics(w io.Writer) error {
 	// warm-started process reports 0.
 	_, err = fmt.Fprintf(w,
 		"plt.warm_hits %d\nplt.warm_misses %d\nplt.warm_invalid %d\n"+
-			"plt.warm_saves %d\nplt.learned %d\n",
-		st.WarmHits, st.WarmMisses, st.WarmInvalid, st.WarmSaves, st.PLTLearned)
+			"plt.warm_saves %d\nplt.learned %d\n"+
+			"plt.recovered.orphans %d\nplt.recovered.quarantined %d\n",
+		st.WarmHits, st.WarmMisses, st.WarmInvalid, st.WarmSaves, st.PLTLearned,
+		st.WarmRecoveredOrphans, st.WarmRecoveredQuarantined)
 	return err
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math"
+	"os"
 	"testing"
 
 	"fssim/internal/core"
@@ -169,4 +170,58 @@ func fuzzSnapshot(data []byte) *Snapshot {
 		st.Learners = append(st.Learners, l)
 	}
 	return snap
+}
+
+// FuzzTornSnapshot feeds arbitrary bytes — seeded with torn, truncated, and
+// bit-flipped prefixes of a valid encoding — through the startup recovery
+// sweep as the on-disk content of a plausible snapshot address. The sweep
+// must never panic, never leave an unloadable file in the load path, and
+// never import anything but a bit-exact valid snapshot; everything else is
+// quarantined or ignored.
+func FuzzTornSnapshot(f *testing.F) {
+	ref := richSnapshot()
+	valid := Encode(ref)
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1])
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/3] ^= 0x40
+	f.Add(flip)
+	tornFlip := append([]byte(nil), valid[:2*len(valid)/3]...)
+	tornFlip[len(tornFlip)-1] ^= 0x01
+	f.Add(tornFlip)
+
+	bench, lh := ref.Benchmark, ref.LearnHash
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		s := Open(dir)
+		if err := os.WriteFile(s.Path(bench, lh), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Recover()
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		got, lerr := s.Load(bench, lh)
+		switch {
+		case lerr == nil:
+			// Imported: must be the bit-exact valid bytes, never a torn
+			// variant that happened to slip through.
+			if !bytes.Equal(Encode(got), data) {
+				t.Fatalf("recovery imported bytes that differ from the file")
+			}
+			if rep.Quarantined != 0 {
+				t.Fatalf("valid snapshot counted as quarantined: %+v", rep)
+			}
+		case errors.Is(lerr, ErrNotFound):
+			// Quarantined or ignored: the file must be out of the load path
+			// and counted.
+			if rep.Quarantined != 1 {
+				t.Fatalf("rejected bytes not counted: %+v", rep)
+			}
+		default:
+			t.Fatalf("file survived the sweep but fails load: %v", lerr)
+		}
+	})
 }

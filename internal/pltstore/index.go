@@ -1,11 +1,15 @@
 package pltstore
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
+	iofs "io/fs"
+	"path/filepath"
 	"sort"
 	"strconv"
+
+	"fssim/internal/durable"
 )
 
 // MaxSnapshotBytes caps how large a snapshot may be to travel between
@@ -14,6 +18,15 @@ import (
 // few MB, so anything beyond this bound cannot be a snapshot the decoder
 // would accept — it is rejected before buffering, not after.
 const MaxSnapshotBytes = 16 << 20
+
+// IndexFileName is the cached on-disk index the store maintains next to its
+// snapshots. It is advisory: Index trusts it only when it exactly describes
+// the .plt files on disk (name and size), and otherwise falls back to a full
+// verified rescan. It is rewritten through the same durable path as
+// snapshots, so a crash mid-rewrite leaves the old or new index, never a
+// torn one — and even a stale index is safe, because every serve and fetch
+// path re-verifies snapshot bytes before using them.
+const IndexFileName = "INDEX"
 
 // ErrOversize reports snapshot bytes beyond MaxSnapshotBytes: rejected
 // before decoding (and, on the fetch path, before fully reading the body).
@@ -49,18 +62,132 @@ func ParseHash(s string) (uint64, error) {
 	return v, nil
 }
 
+// indexFile is the on-disk INDEX cache format.
+type indexFile struct {
+	Version   int          `json:"version"`
+	Snapshots []IndexEntry `json:"snapshots"`
+}
+
+// loadIndexCache parses the INDEX file; nil means absent or unusable (the
+// caller falls back to a full scan — the cache is never trusted blindly).
+func (s *Store) loadIndexCache() []IndexEntry {
+	data, err := s.fsys.ReadFile(filepath.Join(s.dir, IndexFileName))
+	if err != nil {
+		return nil
+	}
+	var f indexFile
+	if json.Unmarshal(data, &f) != nil || f.Version != 1 {
+		return nil
+	}
+	return f.Snapshots
+}
+
+// writeIndexCache rewrites the INDEX through the durable atomic path.
+// Best-effort: the cache is advisory, so an error only costs a rescan later.
+func (s *Store) writeIndexCache(entries []IndexEntry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Addr() < entries[j].Addr() })
+	data, err := json.Marshal(indexFile{Version: 1, Snapshots: entries})
+	if err != nil {
+		return
+	}
+	durable.AtomicWrite(s.writeFS(), s.dir, IndexFileName, data)
+}
+
+// maybeWriteIndexCache rewrites the cache, except that an empty entry list
+// never *creates* an INDEX file — an empty store stays an empty directory.
+// Callers hold idxMu.
+func (s *Store) maybeWriteIndexCache(entries []IndexEntry) {
+	if len(entries) == 0 {
+		if _, err := s.fsys.Stat(filepath.Join(s.dir, IndexFileName)); err != nil {
+			return
+		}
+	}
+	s.writeIndexCache(entries)
+}
+
+// updateIndex upserts one entry into the cached INDEX (serialized across
+// in-process writers). Best-effort and advisory: if the cache drifts from
+// disk — a crash between snapshot and index writes, an out-of-band deletion
+// — Index detects the mismatch and rescans.
+func (s *Store) updateIndex(entry IndexEntry) {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	entries := s.loadIndexCache()
+	replaced := false
+	for i := range entries {
+		if entries[i].Addr() == entry.Addr() {
+			entries[i], replaced = entry, true
+			break
+		}
+	}
+	if !replaced {
+		entries = append(entries, entry)
+	}
+	s.writeIndexCache(entries)
+}
+
+// indexMatchesDisk reports whether cached entries describe exactly the .plt
+// files on disk: every entry's derived filename present with the recorded
+// size, no disk file unaccounted for, no duplicate or unparseable entries.
+func (s *Store) indexMatchesDisk(entries []IndexEntry, disk map[string]int64) bool {
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		h, err := ParseHash(e.LearnHash)
+		if err != nil {
+			return false
+		}
+		name := filepath.Base(s.Path(e.Benchmark, h))
+		if seen[name] {
+			return false
+		}
+		sz, ok := disk[name]
+		if !ok || sz != e.Size {
+			return false
+		}
+		seen[name] = true
+	}
+	return len(seen) == len(disk)
+}
+
 // Index enumerates the store's snapshots as advertised to peers. Only files
 // that decode and validate are listed — a corrupt or truncated file is never
 // advertised, so a peer cannot be tricked into fetching garbage this node
 // already knows is bad. Entries are sorted by address for determinism.
+//
+// When the cached INDEX exactly matches the on-disk file set (name + size),
+// it is returned without re-reading every snapshot; any discrepancy — a
+// crashed index rewrite, an out-of-band edit — falls back to the full
+// verified rescan and rewrites the cache. Staleness is harmless beyond the
+// rescan cost: serving and fetching both re-verify bytes end to end.
 func (s *Store) Index() ([]IndexEntry, error) {
-	paths, err := s.List("")
+	dirents, err := s.fsys.ReadDir(s.dir)
 	if err != nil {
-		return nil, err
+		if errors.Is(err, iofs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("pltstore: %w", err)
 	}
+	disk := map[string]int64{}
+	for _, e := range dirents {
+		if e.Dir || !isSnapshotName(e.Name) {
+			continue
+		}
+		disk[e.Name] = e.Size
+	}
+	if cached := s.loadIndexCache(); cached != nil && s.indexMatchesDisk(cached, disk) {
+		sort.Slice(cached, func(i, j int) bool { return cached[i].Addr() < cached[j].Addr() })
+		return cached, nil
+	}
+
+	names := make([]string, 0, len(disk))
+	for name := range disk {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var out []IndexEntry
-	for _, p := range paths {
-		data, err := os.ReadFile(p)
+	for _, name := range names {
+		p := filepath.Join(s.dir, name)
+		data, err := s.fsys.ReadFile(p)
 		if err != nil || int64(len(data)) > MaxSnapshotBytes {
 			continue
 		}
@@ -80,6 +207,9 @@ func (s *Store) Index() ([]IndexEntry, error) {
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr() < out[j].Addr() })
+	s.idxMu.Lock()
+	s.maybeWriteIndexCache(append([]IndexEntry(nil), out...))
+	s.idxMu.Unlock()
 	return out, nil
 }
 
@@ -90,8 +220,9 @@ func (s *Store) Index() ([]IndexEntry, error) {
 // entitled to store it under. Any failure leaves the store untouched and
 // returns a typed error (ErrOversize, *FormatError, ErrMismatch, or a
 // core.ErrBadState wrap); only a nil error means the bytes are now a
-// loadable local snapshot. The verified bytes are written verbatim (atomic
-// temp-file + rename), so what lands on disk is exactly what was checked.
+// loadable local snapshot. The verified bytes are written verbatim through
+// the durable atomic path (temp → fsync → rename → dir fsync), so what
+// lands on disk is exactly what was checked, even across a crash.
 func (s *Store) PutVerified(bench string, learnHash uint64, data []byte) (*Snapshot, error) {
 	if int64(len(data)) > MaxSnapshotBytes {
 		return nil, fmt.Errorf("%w: %d bytes > %d", ErrOversize, len(data), MaxSnapshotBytes)
@@ -107,33 +238,24 @@ func (s *Store) PutVerified(bench string, learnHash uint64, data []byte) (*Snaps
 	if err := snap.Validate(); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return nil, fmt.Errorf("pltstore: %w", err)
-	}
-	tmp, err := os.CreateTemp(s.dir, ".plt-tmp-*")
-	if err != nil {
-		return nil, fmt.Errorf("pltstore: %w", err)
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = cerr
+	if s.swept.CompareAndSwap(false, true) {
+		s.sweepOrphans()
 	}
 	path := s.Path(bench, learnHash)
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("pltstore: writing %s: %w", path, werr)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := durable.AtomicWrite(s.writeFS(), s.dir, filepath.Base(path), data); err != nil {
 		return nil, fmt.Errorf("pltstore: %w", err)
 	}
+	s.updateIndex(IndexEntry{
+		Benchmark: bench,
+		LearnHash: FormatHash(learnHash),
+		Size:      int64(len(data)),
+	})
 	return snap, nil
 }
 
 // Has reports whether a snapshot file exists at the given address (without
 // reading or validating it — the cheap anti-entropy "do I need this?" check).
 func (s *Store) Has(bench string, learnHash uint64) bool {
-	_, err := os.Stat(s.Path(bench, learnHash))
+	_, err := s.fsys.Stat(s.Path(bench, learnHash))
 	return err == nil
 }

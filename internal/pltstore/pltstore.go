@@ -24,19 +24,31 @@
 // malformed bytes with a typed *FormatError, and the decoded learner state
 // passes core.AccelState.Validate before it can reach an accelerator.
 // Corrupt, truncated, or stale files therefore degrade to cold starts.
+//
+// Writes are crash-consistent: every file the store publishes goes through
+// internal/durable's blessed path (temp → fsync → rename → dir fsync), so a
+// crash at any instant leaves each address holding the old snapshot or the
+// new one, bit-exact — never a torn file under a final name. What a crash
+// can leave behind is an orphan temp or (on pathological storage) a torn or
+// flipped file; Recover sweeps both at startup, deleting orphans and
+// quarantining anything that fails the checksum/identity/validation oracle
+// so it is never silently imported.
 package pltstore
 
 import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	iofs "io/fs"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"fssim/internal/core"
+	"fssim/internal/durable"
 	"fssim/internal/machine"
 )
 
@@ -111,16 +123,37 @@ func ReplayHash(learnHash uint64, key string, seed int64) uint64 {
 }
 
 // Store is a directory of snapshot files, one per (benchmark, learn-hash)
-// address. The zero Store is unusable; build with Open. A Store is safe for
-// concurrent use: writes are atomic (temp file + rename) and reads see
-// either the old or the new complete snapshot.
+// address. The zero Store is unusable; build with Open (or OpenFS to inject
+// a filesystem — tests use durable.CrashFS to explore crash states). A
+// Store is safe for concurrent use: writes go through the durable atomic
+// path and reads see either the old or the new complete snapshot.
 type Store struct {
-	dir string
+	dir  string
+	fsys durable.FS
+
+	// live tracks temp files owned by in-flight writers in this process so
+	// the orphan sweep never deletes a temp that is about to be renamed.
+	mu    sync.Mutex
+	live  map[string]bool
+	swept atomic.Bool // first-save orphan sweep has run (or Recover did)
+
+	// idxMu serializes read-modify-write cycles on the cached INDEX file.
+	// Separate from mu: the index rewrite goes through the durable write
+	// path, which takes mu to track its temp file.
+	idxMu sync.Mutex
 }
 
-// Open returns a store rooted at dir. The directory is created lazily on
-// first save, so opening a store never touches the filesystem.
-func Open(dir string) *Store { return &Store{dir: dir} }
+// Open returns a store rooted at dir, backed by the real filesystem. The
+// directory is created lazily on first save, so opening a store never
+// touches the filesystem; call Recover to run the startup sweep eagerly.
+func Open(dir string) *Store { return OpenFS(dir, durable.OS()) }
+
+// OpenFS returns a store rooted at dir on the given filesystem. Production
+// callers use Open; tests inject a durable.CrashFS to enumerate what crashes
+// can leave behind.
+func OpenFS(dir string, fsys durable.FS) *Store {
+	return &Store{dir: dir, fsys: fsys, live: map[string]bool{}}
+}
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -144,36 +177,104 @@ func sanitize(name string) string {
 	}, name)
 }
 
-// Save writes the snapshot atomically: encoded to a temp file in the store
-// directory, fsync'd semantics aside, then renamed into place. A concurrent
-// reader never observes a partial file, and a crash mid-save leaves the
-// previous snapshot intact.
+// markLive records (or clears) in-process ownership of a temp file path.
+func (s *Store) markLive(path string, live bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if live {
+		s.live[path] = true
+	} else {
+		delete(s.live, path)
+	}
+}
+
+func (s *Store) isLive(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live[path]
+}
+
+// trackFS wraps the store's filesystem so temp files created by the durable
+// write path are registered in the live set for exactly the window between
+// creation and publication (or cleanup).
+type trackFS struct {
+	durable.FS
+	s *Store
+}
+
+func (t trackFS) CreateTemp(dir, pattern string) (durable.File, error) {
+	f, err := t.FS.CreateTemp(dir, pattern)
+	if err == nil {
+		t.s.markLive(f.Name(), true)
+	}
+	return f, err
+}
+
+func (t trackFS) Rename(oldpath, newpath string) error {
+	err := t.FS.Rename(oldpath, newpath)
+	if err == nil {
+		t.s.markLive(oldpath, false)
+	}
+	return err
+}
+
+func (t trackFS) Remove(path string) error {
+	err := t.FS.Remove(path)
+	t.s.markLive(path, false)
+	return err
+}
+
+func (s *Store) writeFS() durable.FS { return trackFS{FS: s.fsys, s: s} }
+
+// sweepOrphans deletes stale temp files left by crashed writers. Temps owned
+// by in-flight writers in this process are skipped; a temp owned by a writer
+// in *another* process sharing the directory could be swept, in which case
+// that writer's rename fails cleanly (save error, no corruption) — the store
+// is concurrency-safe within a process and crash-safe across them.
+func (s *Store) sweepOrphans() int {
+	entries, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.Dir || !strings.HasPrefix(e.Name, durable.TempPrefix) {
+			continue
+		}
+		p := filepath.Join(s.dir, e.Name)
+		if s.isLive(p) {
+			continue
+		}
+		if s.fsys.Remove(p) == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
+// Save writes the snapshot crash-consistently through the durable path:
+// encoded to a temp file, fsync'd, renamed into place, directory fsync'd. A
+// concurrent reader never observes a partial file, and a crash at any point
+// leaves the address holding the previous snapshot or the new one bit-exact
+// (plus at worst an orphan temp for the next sweep). The first save also
+// sweeps orphan temps left by earlier crashed processes.
 func (s *Store) Save(snap *Snapshot) error {
 	if err := snap.Validate(); err != nil {
 		return fmt.Errorf("pltstore: refusing to save: %w", err)
 	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return fmt.Errorf("pltstore: %w", err)
+	if s.swept.CompareAndSwap(false, true) {
+		s.sweepOrphans()
 	}
 	path := s.Path(snap.Benchmark, snap.LearnHash)
-	tmp, err := os.CreateTemp(s.dir, ".plt-tmp-*")
-	if err != nil {
-		return fmt.Errorf("pltstore: %w", err)
-	}
 	data := Encode(snap)
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("pltstore: writing %s: %w", path, werr)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := durable.AtomicWrite(s.writeFS(), s.dir, filepath.Base(path), data); err != nil {
 		return fmt.Errorf("pltstore: %w", err)
 	}
+	s.updateIndex(IndexEntry{
+		Benchmark: snap.Benchmark,
+		LearnHash: FormatHash(snap.LearnHash),
+		Size:      int64(len(data)),
+	})
 	return nil
 }
 
@@ -184,9 +285,9 @@ func (s *Store) Save(snap *Snapshot) error {
 // learner state. Only a nil error means the snapshot is safe to import.
 func (s *Store) Load(bench string, learnHash uint64) (*Snapshot, error) {
 	path := s.Path(bench, learnHash)
-	data, err := os.ReadFile(path)
+	data, err := s.fsys.ReadFile(path)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, iofs.ErrNotExist) {
 			return nil, ErrNotFound
 		}
 		return nil, fmt.Errorf("pltstore: %w", err)
@@ -209,9 +310,9 @@ func (s *Store) Load(bench string, learnHash uint64) (*Snapshot, error) {
 // benchmark when bench is empty), sorted by name for determinism. A missing
 // store directory is an empty store, not an error.
 func (s *Store) List(bench string) ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fsys.ReadDir(s.dir)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, iofs.ErrNotExist) {
 			return nil, nil
 		}
 		return nil, fmt.Errorf("pltstore: %w", err)
@@ -222,8 +323,8 @@ func (s *Store) List(bench string) ([]string, error) {
 	}
 	var out []string
 	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".plt") {
+		name := e.Name
+		if e.Dir || !strings.HasSuffix(name, ".plt") {
 			continue
 		}
 		if prefix != "" && !strings.HasPrefix(name, prefix) {

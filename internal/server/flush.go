@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"fssim/internal/durable"
 	"fssim/internal/experiments"
 )
 
@@ -26,23 +28,32 @@ import (
 // the per-run best-effort writes, so a drained process always leaves its
 // learned state behind.
 func WriteArtifacts(sched *experiments.Scheduler, tracePath, metricsPath string) error {
+	return WriteArtifactsCtx(context.Background(), sched, tracePath, metricsPath)
+}
+
+// WriteArtifactsCtx is WriteArtifacts bounded by ctx: completed runs always
+// flush, but waits on still-executing runs end at the deadline — their
+// snapshots and traces are skipped (and reported) rather than wedging a
+// shutdown forever. Partial progress is kept: everything flushed before the
+// deadline stays flushed.
+func WriteArtifactsCtx(ctx context.Context, sched *experiments.Scheduler, tracePath, metricsPath string) error {
 	var errs []error
-	if _, err := sched.FlushWarm(); err != nil {
+	if _, err := sched.FlushWarmCtx(ctx); err != nil {
 		errs = append(errs, fmt.Errorf("plt snapshot flush: %w", err))
 	}
 	if tracePath != "" {
 		if err := writeFile(tracePath, func(w io.Writer) error {
 			if strings.HasSuffix(tracePath, ".jsonl") {
-				return sched.WriteJSONLTrace(w)
+				return sched.WriteJSONLTraceCtx(ctx, w)
 			}
-			return sched.WriteChromeTrace(w)
+			return sched.WriteChromeTraceCtx(ctx, w)
 		}); err != nil {
 			errs = append(errs, fmt.Errorf("trace export: %w", err))
 		}
 	}
 	if metricsPath != "" {
 		if err := writeFile(metricsPath, func(w io.Writer) error {
-			if err := sched.WriteRunMetrics(w); err != nil {
+			if err := sched.WriteRunMetricsCtx(ctx, w); err != nil {
 				return err
 			}
 			return sched.WriteHarnessMetrics(w)
@@ -53,19 +64,13 @@ func WriteArtifacts(sched *experiments.Scheduler, tracePath, metricsPath string)
 	return errors.Join(errs...)
 }
 
-// writeFile writes one artifact to path ("-" = stdout), reporting close
-// failures too so a full disk is not silently ignored.
+// writeFile writes one artifact to path ("-" = stdout) through the durable
+// temp-fsync-rename discipline, so a failed or interrupted export never
+// leaves a torn artifact at the destination: readers observe the old file or
+// the complete new one, nothing in between.
 func writeFile(path string, write func(io.Writer) error) error {
 	if path == "-" {
 		return write(os.Stdout)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	err = write(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return durable.AtomicWriteFile(durable.OS(), path, write)
 }

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestWriteFileFailureLeavesNoPartial pins the atomic artifact contract: a
+// failed export never tears the destination. An existing artifact survives
+// byte-exact, a fresh path stays absent, and no temp files are left behind.
+func TestWriteFileFailureLeavesNoPartial(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.txt")
+	const prev = "previous good artifact"
+	if err := os.WriteFile(path, []byte(prev), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("export failed midway")
+	err := writeFile(path, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, "half an artifact"); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("writeFile = %v, want the export error", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != prev {
+		t.Fatalf("previous artifact = (%q, %v), want it untouched", got, err)
+	}
+
+	fresh := filepath.Join(dir, "trace.json")
+	if err := writeFile(fresh, func(w io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("writeFile fresh = %v, want the export error", err)
+	}
+	if _, err := os.Stat(fresh); !os.IsNotExist(err) {
+		t.Fatal("failed export left a partial file at a fresh path")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "metrics.txt" {
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("stray files after failed exports: %v", names)
+	}
+}
+
+// TestDrainBoundedWithHungRun: a run that ignores cancellation cannot wedge
+// the drain. The flush skips it at its grace deadline, the artifacts are
+// still written, and Drain returns within a bound.
+func TestDrainBoundedWithHungRun(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	s, c := newTestServer(t, Config{
+		Workers:      2,
+		Deadline:     30 * time.Second,
+		RunTimeout:   -1, // the run outlives every timeout: the wedge scenario
+		DrainTimeout: 300 * time.Millisecond,
+		TracePath:    tracePath,
+	})
+
+	// Start a gated run whose waiter gives up; the detached simulation stays
+	// blocked on the gate through the whole drain. An earlier test may have
+	// left the shared gate closed, so arm a fresh one first.
+	resetGate()
+	req := RunRequest{Benchmark: "srv-gate", Scale: 0.1, Seed: 77, DeadlineMS: 50}
+	if _, err := c.Run(context.Background(), req); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("gated run = %v, want ErrDeadline", err)
+	}
+
+	// Drain with an already-expired context: the worst case, where the flush
+	// must grant itself a bounded grace budget rather than waiting forever or
+	// not at all.
+	dctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := s.Drain(dctx)
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Second {
+		t.Fatalf("Drain took %v with a hung run; shutdown is not bounded", elapsed)
+	}
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Errorf("trace artifact not written on bounded drain: %v", err)
+	}
+}

@@ -58,7 +58,8 @@ type Config struct {
 	// result. Default 2m.
 	Deadline time.Duration
 	// DrainTimeout is how long a drain waits for in-flight runs before
-	// canceling them. Default 10s.
+	// canceling them; it also bounds the artifact flush when the drain
+	// context arrives already expired. Default 30s.
 	DrainTimeout time.Duration
 	// RunTimeout bounds each simulation's wall-clock time. 0 defaults to
 	// Deadline (a run no client can wait for should not pin a worker);
@@ -110,7 +111,7 @@ func (c Config) normalized() Config {
 		c.Deadline = 2 * time.Minute
 	}
 	if c.DrainTimeout <= 0 {
-		c.DrainTimeout = 10 * time.Second
+		c.DrainTimeout = 30 * time.Second
 	}
 	if c.RunTimeout == 0 {
 		c.RunTimeout = c.Deadline
@@ -772,14 +773,32 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	// Stop the detached simulations that have no waiter left, too.
 	s.cancelRuns()
-	return s.FlushArtifacts()
+	// The flush gets its own bounded grace budget. Runs canceled above are
+	// unwinding; their entries resolve quickly, and whatever did complete must
+	// still be persisted — but if ctx already expired we must not flush with a
+	// dead context (every wait would be skipped), nor unboundedly (a wedged
+	// run would hang shutdown forever).
+	fctx := ctx
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+	}
+	return s.FlushArtifactsCtx(fctx)
 }
 
 // FlushArtifacts writes the configured trace and metrics artifacts (no-op
 // when neither path is set). Aborted runs' partial traces are included, so
 // an interrupted server still leaves usable diagnostics.
 func (s *Server) FlushArtifacts() error {
-	return WriteArtifacts(s.sched, s.cfg.TracePath, s.cfg.MetricsPath)
+	return s.FlushArtifactsCtx(context.Background())
+}
+
+// FlushArtifactsCtx is FlushArtifacts bounded by ctx: runs still executing
+// at the deadline are skipped (and reported) instead of wedging the flush;
+// everything already completed is persisted regardless.
+func (s *Server) FlushArtifactsCtx(ctx context.Context) error {
+	return WriteArtifactsCtx(ctx, s.sched, s.cfg.TracePath, s.cfg.MetricsPath)
 }
 
 // Addr returns the bound listen address once Serve is up (useful with ":0").
