@@ -571,3 +571,37 @@ func BenchmarkWarmVsColdSimulation(b *testing.B) {
 		b.ReportMetric(100*res.Stats.Coverage(), "warm-cov-%")
 	}
 }
+
+// BenchmarkTransferVsColdSweep runs the L2 design-space sweep experiment —
+// every eligible point warm-started from the in-sweep donor and paired with
+// a cold twin, the out-of-range point rejected — and reports how much
+// detailed simulation the cross-config transfers skipped.
+func BenchmarkTransferVsColdSweep(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = benchScale
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewScheduler(cfg)
+		res, err := s.Run("sweep")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cold, xfer float64
+		for _, line := range strings.Split(res.StableRender(), "\n") {
+			f := strings.Fields(line)
+			if len(f) != 9 || f[8] != "transferred" {
+				continue
+			}
+			cold += cell(f[4])
+			xfer += cell(f[5])
+		}
+		if xfer == 0 {
+			b.Fatal("sweep table has no transferred rows")
+		}
+		st := s.Stats()
+		b.ReportMetric(cold, "cold-detailed")
+		b.ReportMetric(xfer, "transfer-detailed")
+		b.ReportMetric(cold/xfer, "detail-cut-x")
+		b.ReportMetric(float64(st.TransferHits), "imports")
+		b.ReportMetric(float64(st.TransferRejected), "rejected")
+	}
+}

@@ -25,6 +25,9 @@
 //	fsbench -metrics -       # dump per-run metrics registries (- = stdout)
 //	fsbench -warm-dir warm   # persist learned PLTs; replay identical runs
 //	                         # across invocations (tables stay byte-identical)
+//	fsbench -warm-dir warm -transfer
+//	                         # warm-start each accelerated run from the nearest
+//	                         # eligible donor snapshot (cross-config transfer)
 //
 // Ctrl-C cancels cleanly: in-flight simulations abort cooperatively, and
 // experiments that already finished are still printed; the artifact flush is
@@ -62,6 +65,7 @@ func main() {
 	traceOut := flag.String("trace", "", "record every simulation and export a trace file (.jsonl = JSON lines, anything else = Chrome trace-event JSON for Perfetto)")
 	metricsOut := flag.String("metrics", "", "write per-run metrics registries plus harness counters to this file (- = stdout)")
 	warmDir := flag.String("warm-dir", "", "persist learned PLT snapshots here and replay identical accelerated runs across invocations (empty = off)")
+	transferOn := flag.Bool("transfer", false, "warm-start every accelerated run's PLT from the nearest eligible donor snapshot in -warm-dir (cross-config transfer; requires -warm-dir)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "budget for the exit-time artifact and snapshot flush (runs still executing at the deadline are skipped)")
 	var parallel int
 	flag.IntVar(&parallel, "parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
@@ -107,9 +111,10 @@ func main() {
 	cfg := experiments.Config{
 		Scale: *scale, Seed: *seed, Parallelism: parallel,
 		Timeout: *timeout, Retries: *retries, FaultPlan: *faultPlan,
-		Sample:  *sampleSpec,
-		Trace:   *traceOut != "" || *metricsOut != "",
-		WarmDir: *warmDir,
+		Sample:   *sampleSpec,
+		Trace:    *traceOut != "" || *metricsOut != "",
+		WarmDir:  *warmDir,
+		Transfer: *transferOn,
 	}.WithContext(ctx)
 	if *pincosts {
 		mc := experiments.ReferenceModeCosts
@@ -167,6 +172,13 @@ func main() {
 	if *warmDir != "" {
 		fmt.Printf("plt: %d replayed warm, %d cold, %d invalidated, %d snapshots saved, %d instances learned\n",
 			st.WarmHits, st.WarmMisses, st.WarmInvalid, st.WarmSaves, st.PLTLearned)
+	}
+	if st.TransferHits > 0 || st.TransferRejected > 0 {
+		fmt.Printf("transfer: %d runs imported donor priors, %d directives rejected (cold fallback)\n",
+			st.TransferHits, st.TransferRejected)
+		for _, rec := range sched.Transfers() {
+			fmt.Printf("plt: %s: %s\n", rec.Key, rec.Prov)
+		}
 	}
 	if *sampleSpec != "" || st.SampledRuns > 0 {
 		red := 1.0

@@ -9,6 +9,9 @@
 //	fssim -bench iperf -l2 2097152        # 2MB L2
 //	fssim -bench ab-rand -sample default  # stratified app-interval sampling
 //	fssim -bench ab-rand -mode accel -warm-dir warm   # persist + warm-start the PLT
+//	fssim -bench ab-rand -mode accel -warm-dir warm -l2 2097152 -transfer
+//	                                      # no exact snapshot? import the nearest
+//	                                      # eligible neighbor config's PLT instead
 //	fssim -list                           # available benchmarks
 package main
 
@@ -24,6 +27,7 @@ import (
 	"fssim/internal/machine"
 	"fssim/internal/pltstore"
 	"fssim/internal/sample"
+	"fssim/internal/transfer"
 	"fssim/internal/workload"
 )
 
@@ -41,6 +45,7 @@ func main() {
 	tlb := flag.Bool("tlb", false, "enable TLB modeling (64-entry I/D TLBs, 30-cycle walks)")
 	prefetch := flag.Bool("prefetch", false, "enable the L2 next-line prefetcher")
 	warmDir := flag.String("warm-dir", "", "accel mode: import a persisted PLT snapshot from this directory before simulating, and persist the learned table after (empty = off)")
+	transferOn := flag.Bool("transfer", false, "accel mode with -warm-dir: when no exact snapshot exists, warm-start the PLT from the nearest transfer-eligible donor configuration instead")
 	sampleSpec := flag.String("sample", "", "stratified app-interval sampling spec: a preset ("+strings.Join(sample.PresetNames(), ", ")+") or key=value list (empty = every app interval detailed)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
@@ -145,15 +150,40 @@ func main() {
 	}
 
 	// Warm start: import a compatible persisted PLT before simulating; a
-	// stale, mismatched or corrupt snapshot silently stays cold.
+	// stale, mismatched or corrupt snapshot silently stays cold. With
+	// -transfer, a cold start first tries the nearest eligible donor from a
+	// *neighbor* configuration, rescaled into low-confidence priors; an
+	// ineligible or missing donor is reported and the run stays cold — a
+	// transfer is never silent.
 	var store *pltstore.Store
 	var learnHash uint64
 	warmed := false
+	var prov *transfer.Provenance
 	if acc != nil && *warmDir != "" {
 		store = pltstore.Open(*warmDir)
-		learnHash = pltstore.LearnHash(*bench, opts.Machine, acc.Export().Params, opts.Scale, "")
+		params := acc.Export().Params
+		learnHash = pltstore.LearnHash(*bench, opts.Machine, params, opts.Scale, "")
 		if snap, err := store.Load(*bench, learnHash); err == nil {
 			warmed = acc.Import(snap.State) == nil
+		}
+		if !warmed && *transferOn {
+			family := transfer.FamilyHash(*bench, opts.Machine, params, opts.Scale, "")
+			recip := transfer.FromConfig(opts.Machine)
+			if donor, dist, err := store.Nearest(family, recip); err == nil {
+				model := transfer.FitAnalytic(donor.Coords, recip)
+				if prior, rerr := transfer.Rescale(donor.State, model, params); rerr == nil && acc.Import(prior) == nil {
+					prov = &transfer.Provenance{
+						DonorBench: donor.Benchmark,
+						DonorAddr:  pltstore.FormatHash(donor.Family) + "/" + pltstore.FormatHash(donor.LearnHash),
+						Distance:   dist,
+						Scale:      model.L2M,
+						Hash:       transfer.TransferHash(donor.LearnHash, model),
+					}
+				}
+			}
+			if prov == nil {
+				fmt.Fprintf(os.Stderr, "fssim: transfer: no eligible donor in %s; starting cold\n", *warmDir)
+			}
 		}
 	}
 
@@ -162,13 +192,29 @@ func main() {
 		fail("%v", err)
 	}
 	if store != nil {
+		// Transferred tables save under a distinct learn address and carry the
+		// TransferHash trailer, so they never overwrite — or later pose as —
+		// the cold-learned table of the same configuration (transferred
+		// snapshots are not donor-eligible: priors must not chain).
+		params := acc.Export().Params
+		runKey := "fssim:" + *bench
+		saveLearn, xferHash := learnHash, uint64(0)
+		replay := pltstore.ReplayHash(learnHash, runKey, opts.Machine.Seed)
+		if prov != nil {
+			saveLearn = pltstore.LearnHashWith(*bench, opts.Machine, params, opts.Scale, "", "store")
+			xferHash = prov.Hash
+			replay = pltstore.TransferReplayHash(saveLearn, runKey, opts.Machine.Seed, prov.Hash)
+		}
 		snap := &pltstore.Snapshot{
-			LearnHash:  learnHash,
-			ReplayHash: pltstore.ReplayHash(learnHash, "fssim:"+*bench, opts.Machine.Seed),
-			Benchmark:  *bench,
-			Key:        "fssim:" + *bench,
-			Stats:      res.Stats,
-			State:      acc.Export(),
+			LearnHash:    saveLearn,
+			ReplayHash:   replay,
+			Benchmark:    *bench,
+			Key:          runKey,
+			Family:       transfer.FamilyHash(*bench, opts.Machine, params, opts.Scale, ""),
+			TransferHash: xferHash,
+			Coords:       transfer.FromConfig(opts.Machine),
+			Stats:        res.Stats,
+			State:        acc.Export(),
 		}
 		if err := store.Save(snap); err != nil {
 			fmt.Fprintf(os.Stderr, "fssim: plt snapshot not saved: %v\n", err)
@@ -201,6 +247,9 @@ func main() {
 			sum.Relearns, sum.Outliers, warmNote)
 		fmt.Printf("fast-forwarded   %d of %d instructions (%.1f%%)\n",
 			st.EmuInsts, st.Insts, 100*float64(st.EmuInsts)/float64(st.Insts))
+		if prov != nil {
+			fmt.Printf("plt              %s (distance %.1f)\n", prov, prov.Distance)
+		}
 		if *services {
 			fmt.Println("\nservice          seen   clusters  predicted  outliers  relearns")
 			for _, row := range acc.Report() {

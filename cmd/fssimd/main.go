@@ -13,6 +13,9 @@
 //	fssimd -drain-timeout 15s      # graceful-drain budget on SIGTERM/SIGINT
 //	fssimd -trace trace.json -metrics metrics.txt  # artifacts flushed on drain
 //	fssimd -warm-dir warm          # persist learned PLTs; replay across restarts
+//	fssimd -warm-dir warm -transfer
+//	                               # serve "transfer":"store" requests from the
+//	                               # nearest eligible donor snapshot
 //	fssimd -warm-dir warm -peers http://n2:8080,http://n3:8080
 //	                               # anti-entropy: pull peers' verified PLTs
 //
@@ -66,6 +69,7 @@ func main() {
 	metricsOut := flag.String("metrics", "", "flush per-run metrics registries plus harness counters to this file on drain (- = stdout)")
 	doTrace := flag.Bool("record", false, "record simulations (enables GET /v1/runs/{id}/trace) even without -trace/-metrics")
 	warmDir := flag.String("warm-dir", "", "persist learned PLT snapshots here and replay identical accelerated requests across restarts (empty = off)")
+	transferOn := flag.Bool("transfer", false, "serve \"transfer\":\"store\" requests by importing the nearest eligible donor PLT from -warm-dir (cross-config transfer; requires -warm-dir)")
 	peers := flag.String("peers", "", "comma-separated peer base URLs for PLT anti-entropy gossip (requires -warm-dir)")
 	gossipEvery := flag.Duration("gossip-interval", 5*time.Second, "anti-entropy period")
 	flag.Parse()
@@ -84,6 +88,11 @@ func main() {
 		TracePath:    *traceOut,
 		MetricsPath:  *metricsOut,
 		WarmDir:      *warmDir,
+		Transfer:     *transferOn,
+	}
+	if *transferOn && *warmDir == "" {
+		fmt.Fprintln(os.Stderr, "fssimd: -transfer requires -warm-dir (donor snapshots come from the warm store)")
+		os.Exit(2)
 	}
 
 	// SIGTERM (orchestrators) and SIGINT (terminals) both start the drain:

@@ -77,7 +77,7 @@ func TestPublicLists(t *testing.T) {
 	if len(fssim.Benchmarks()) != 10 || len(fssim.OSIntensiveBenchmarks()) != 5 {
 		t.Fatal("benchmark lists wrong")
 	}
-	if len(fssim.Experiments()) != 17 {
+	if len(fssim.Experiments()) != 18 {
 		t.Fatal("experiment list wrong")
 	}
 }

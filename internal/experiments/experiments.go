@@ -68,6 +68,14 @@ type Config struct {
 	// metrics through Scheduler.WriteChromeTrace / WriteJSONLTrace /
 	// WriteRunMetrics.
 	Trace bool
+	// Transfer, when set, attaches the "store" transfer directive to every
+	// accelerated run: its PLT is warm-started from the nearest eligible
+	// donor snapshot in WarmDir's sweep-family index (rescaled to this
+	// configuration, imported as low-confidence priors), cutting the learning
+	// phase at every sweep point after the first. Requires WarmDir. Ineligible
+	// or missing donors are counted (SchedStats.TransferRejected) and the run
+	// proceeds cold — a transfer is never silent in either direction.
+	Transfer bool
 	// WarmDir, when set, roots a pltstore warm-start store there: every
 	// successful accelerated run's learned PLT state is snapshotted to disk,
 	// and an identical later run (same configuration, exact replay hash) is
@@ -156,6 +164,9 @@ func (c Config) validate() error {
 		if fi, err := os.Stat(c.WarmDir); err == nil && !fi.IsDir() {
 			return fmt.Errorf("experiments: warm dir %s exists and is not a directory", c.WarmDir)
 		}
+	}
+	if c.Transfer && c.WarmDir == "" {
+		return errors.New("experiments: transfer requires a warm-start store (set WarmDir)")
 	}
 	return nil
 }
@@ -246,6 +257,8 @@ func init() {
 			WarmstartExp, warmstartNeeds},
 		"sampling": {"Stratified app-interval sampling: error/speedup curve with 95% confidence intervals",
 			SamplingExp, samplingNeeds},
+		"sweep": {"Cross-config transfer: warm-starting an L2 sweep from its first point",
+			SweepExp, sweepNeeds},
 	}
 }
 

@@ -9,11 +9,11 @@ import (
 
 func TestIDsCoverPaperArtifacts(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("have %d experiments, want 17 (Figs 1-12 + Tables 1-2 + faults + warmstart + sampling)", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("have %d experiments, want 18 (Figs 1-12 + Tables 1-2 + faults + warmstart + sampling + sweep)", len(ids))
 	}
 	if ids[0] != "fig1" || ids[11] != "fig12" || ids[12] != "tab1" || ids[13] != "tab2" ||
-		ids[14] != "faults" || ids[15] != "sampling" || ids[16] != "warmstart" {
+		ids[14] != "faults" || ids[15] != "sampling" || ids[16] != "sweep" || ids[17] != "warmstart" {
 		t.Fatalf("ordering wrong: %v", ids)
 	}
 	for _, id := range ids {

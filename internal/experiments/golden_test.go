@@ -17,7 +17,7 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden-table files un
 // (warmstart) whose parity column pins the warm-start invariant, and the
 // stratified-sampling error/speedup study (sampling) whose error column pins
 // the extrapolation estimator.
-var goldenIDs = []string{"fig1", "fig6", "fig7", "fig11", "tab2", "faults", "warmstart", "sampling"}
+var goldenIDs = []string{"fig1", "fig6", "fig7", "fig11", "tab2", "faults", "warmstart", "sampling", "sweep"}
 
 // goldenConfig is the pinned small-scale configuration the files were
 // rendered under. Mode costs are pinned so tab2 doesn't time the host.

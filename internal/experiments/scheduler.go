@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"fssim/internal/pltstore"
 	"fssim/internal/sample"
 	"fssim/internal/trace"
+	"fssim/internal/transfer"
 	"fssim/internal/workload"
 )
 
@@ -49,6 +51,14 @@ type RunKey struct {
 	// workload trajectory of its unsampled twin, so comparing the two
 	// measures pure estimator error, not seed-to-seed variance.
 	Sample string
+	// Transfer is the canonical transfer.Spec directive for warm-starting
+	// this run's PLT from a neighbor configuration ("" = cold start). Part
+	// of the key — a transferred run and its cold twin never share cache
+	// entries — but excluded from DeriveSeed for the same reason Sample is:
+	// the transferred run must replay the byte-identical workload trajectory
+	// of its cold twin so that any divergence is attributable purely to the
+	// imported priors, not to seed-to-seed variance.
+	Transfer string
 }
 
 // watchdogOpt is the OptsHash bit arming the prediction-divergence watchdog
@@ -66,6 +76,9 @@ func (k RunKey) String() string {
 	}
 	if k.Sample != "" {
 		s += "/sample=" + k.Sample
+	}
+	if k.Transfer != "" {
+		s += "/transfer=" + k.Transfer
 	}
 	return s
 }
@@ -85,10 +98,11 @@ func (k RunKey) DeriveSeed() int64 {
 	if k.Faults != "" {
 		fmt.Fprintf(h, "|faults=%s", k.Faults)
 	}
-	// k.Sample is intentionally NOT hashed: the sampler only decides which
-	// intervals are measured versus extrapolated, and the sampled run must
-	// replay the byte-identical workload trajectory of the unsampled run at
-	// the same coordinates for error attribution to be meaningful.
+	// k.Sample and k.Transfer are intentionally NOT hashed: the sampler only
+	// decides which intervals are measured versus extrapolated, transfer only
+	// seeds the learners' prior tables, and both variants must replay the
+	// byte-identical workload trajectory of the plain run at the same
+	// coordinates for error attribution to be meaningful.
 	s := int64(h.Sum64() &^ (1 << 63)) // keep it non-negative for readability
 	if s == 0 {
 		s = 1
@@ -126,22 +140,26 @@ func (k RunKey) withWatchdog() RunKey { k.OptsHash |= watchdogOpt; return k }
 // withSample returns the key with the given canonical sampling spec applied.
 func (k RunKey) withSample(spec string) RunKey { k.Sample = spec; return k }
 
+// withTransfer returns the key with the given transfer directive applied.
+func (k RunKey) withTransfer(spec string) RunKey { k.Transfer = spec; return k }
+
 // runOutput is everything a memoized run yields. Full-system runs always
 // carry a Profiler (characterization is free to record and lets Figs 3-6
 // share the same cached simulations as the fig1/fig8 baselines); Accelerated
 // runs carry their Accelerator. Both are immutable once the run completes,
 // so concurrent readers need no locking.
 type runOutput struct {
-	res  workload.Result
-	acc  *core.Accelerator
-	prof *core.Profiler
-	smp  *sample.Sampler // non-nil when the key carries a sampling spec
-	rec  *trace.Recorder // non-nil when Config.Trace is set
+	res      workload.Result
+	acc      *core.Accelerator
+	prof     *core.Profiler
+	smp      *sample.Sampler      // non-nil when the key carries a sampling spec
+	rec      *trace.Recorder      // non-nil when Config.Trace is set
+	transfer *transfer.Provenance // non-nil when the run imported donor priors
 }
 
 // outcome is the exported view of this output for serving front-ends.
 func (o runOutput) outcome() Outcome {
-	oc := Outcome{Result: o.res, Accel: o.acc, Trace: o.rec}
+	oc := Outcome{Result: o.res, Accel: o.acc, Trace: o.rec, Transfer: o.transfer}
 	if o.smp != nil {
 		rep := o.smp.Report()
 		oc.Sample = &rep
@@ -188,6 +206,12 @@ type SchedStats struct {
 	SampledRuns        int64 // runs executed with an application-interval sampler
 	SampleDetailed     int64 // app intervals simulated in detail across sampled runs
 	SampleExtrapolated int64 // app intervals fast-forwarded across sampled runs
+
+	// Cross-config transfer counters (all zero unless keys carried a
+	// transfer directive).
+	TransferHits     int64 // runs that imported rescaled donor priors
+	TransferRejected int64 // transfer directives that fell back to a cold start
+	//   (ineligible or missing donor, failed donor run, or invalid rescale)
 }
 
 // RunError describes one simulation's final failure: which run, how many
@@ -249,6 +273,17 @@ type Scheduler struct {
 	sampledRuns  atomic.Int64
 	sampleDet    atomic.Int64
 	sampleExtrap atomic.Int64
+
+	transferHits     atomic.Int64
+	transferRejected atomic.Int64
+
+	// donors is the transfer donor set for "store" directives, frozen at
+	// construction: every valid, cold-learned snapshot the warm directory
+	// held when the scheduler was built. Freezing makes store-driven donor
+	// resolution independent of scheduling order — snapshots saved *during*
+	// this invocation never become donors within it, so tables stay
+	// byte-identical at any -j.
+	donors []*pltstore.Snapshot
 }
 
 // NewScheduler builds a scheduler for cfg; cfg is normalized first, so a
@@ -275,8 +310,30 @@ func NewScheduler(cfg Config) *Scheduler {
 			s.recOrphans.Store(int64(rep.Orphans))
 			s.recQuar.Store(int64(rep.Quarantined))
 		}
+		if cfg.Transfer {
+			s.loadDonors()
+		}
 	}
 	return s
+}
+
+// loadDonors freezes the store-driven transfer donor set: every snapshot in
+// the warm directory that decodes, validates, and is cold-learned
+// (TransferHash 0 — transferred tables never donate). Paths come from List,
+// which sorts, so the donor order — and therefore nearest-donor tie-breaking
+// — is deterministic.
+func (s *Scheduler) loadDonors() {
+	paths, err := s.warm.List("")
+	if err != nil {
+		return
+	}
+	for _, p := range paths {
+		snap, err := s.warm.LoadPath(p)
+		if err != nil || snap.TransferHash != 0 {
+			continue
+		}
+		s.donors = append(s.donors, snap)
+	}
 }
 
 // Parallelism returns the worker-pool width.
@@ -306,6 +363,9 @@ func (s *Scheduler) Stats() SchedStats {
 		SampledRuns:        s.sampledRuns.Load(),
 		SampleDetailed:     s.sampleDet.Load(),
 		SampleExtrapolated: s.sampleExtrap.Load(),
+
+		TransferHits:     s.transferHits.Load(),
+		TransferRejected: s.transferRejected.Load(),
 	}
 }
 
@@ -368,6 +428,12 @@ func (s *Scheduler) get(ctx context.Context, key RunKey, st *expStats) (runOutpu
 // *RunError wrapping the context error, without ever starting the run),
 // executes, and publishes the result via finish.
 func (s *Scheduler) run(ctx context.Context, key RunKey, e *runEntry, st *expStats) {
+	// Donor resolution happens BEFORE this run occupies a worker slot: the
+	// sibling-donor path runs (or joins) the donor simulation through the
+	// ordinary memo cache, which itself needs a slot — resolving first both
+	// orders every sweep so donors complete before their recipients and
+	// keeps -j 1 deadlock-free.
+	prior, prov := s.resolveTransfer(ctx, key, st)
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
@@ -376,7 +442,7 @@ func (s *Scheduler) run(ctx context.Context, key RunKey, e *runEntry, st *expSta
 		return
 	}
 	start := time.Now()
-	e.out, e.err = s.execute(ctx, key)
+	e.out, e.err = s.execute(ctx, key, prior, prov)
 	e.wall = time.Since(start)
 	<-s.slots
 
@@ -424,6 +490,9 @@ type Outcome struct {
 	Sample *sample.Report
 	// Trace is the run's recorder (nil unless Config.Trace).
 	Trace *trace.Recorder
+	// Transfer is the provenance of the donor priors this run imported (nil
+	// for cold runs and for transfer directives that were rejected).
+	Transfer *transfer.Provenance
 }
 
 // Lookup resolves key through the memo cache on behalf of a long-lived
@@ -547,8 +616,8 @@ func (s *Scheduler) finish(key RunKey, e *runEntry, st *expStats) {
 // result is byte-identical to what re-running would produce. Any other
 // outcome (no snapshot, stale hash, corrupt file) is counted and falls
 // through to a normal cold simulation, whose result is saved back.
-func (s *Scheduler) execute(ctx context.Context, key RunKey) (runOutput, error) {
-	if out, ok := s.warmReplay(key); ok {
+func (s *Scheduler) execute(ctx context.Context, key RunKey, prior *core.AccelState, prov *transfer.Provenance) (runOutput, error) {
+	if out, ok := s.warmReplay(key, prov); ok {
 		return out, nil
 	}
 	var lastErr error
@@ -557,7 +626,7 @@ func (s *Scheduler) execute(ctx context.Context, key RunKey) (runOutput, error) 
 		if attempt > 0 {
 			s.retries.Add(1)
 		}
-		out, err := s.executeOnce(ctx, key, attempt)
+		out, err := s.executeOnce(ctx, key, attempt, prior, prov)
 		if err == nil {
 			if out.acc != nil {
 				s.pltLearned.Add(out.acc.Summary().Learned)
@@ -598,7 +667,7 @@ func isTimeout(ctx context.Context, err error) bool {
 // describes. A panic escaping the workload's own recovery (e.g. out of a
 // Prepare hook) is converted to an error here, so a broken run can never
 // take down the scheduler's worker or the whole suite.
-func (s *Scheduler) executeOnce(ctx context.Context, key RunKey, attempt int) (out runOutput, err error) {
+func (s *Scheduler) executeOnce(ctx context.Context, key RunKey, attempt int, prior *core.AccelState, prov *transfer.Provenance) (out runOutput, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("run %s: panic: %v\n%s", key, r, debug.Stack())
@@ -637,6 +706,18 @@ func (s *Scheduler) executeOnce(ctx context.Context, key RunKey, attempt int) (o
 		opts.Observer = out.prof.Observer()
 	case machine.Accelerated:
 		out.acc = core.NewAccelerator(accelParamsFor(key))
+		if prior != nil {
+			// Warm-start the learners from the rescaled donor priors. Rescale
+			// already validated the state and Import re-validates; a failure
+			// here leaves the accelerator empty, so the run proceeds cold and
+			// the rejection is counted — never a silent half-import.
+			if ierr := out.acc.Import(prior); ierr == nil {
+				out.transfer = prov
+			} else {
+				s.transferHits.Add(-1)
+				s.transferRejected.Add(1)
+			}
+		}
 		opts.Sink = out.acc
 	}
 	if key.Sample != "" {
@@ -679,6 +760,132 @@ func accelParamsFor(key RunKey) core.Params {
 	return params
 }
 
+// --- cross-config transfer --------------------------------------------------
+
+// resolveTransfer resolves a key's transfer directive into rescaled donor
+// priors plus their provenance, or (nil, nil) for keys without a directive
+// and for every rejection. Rejections — unparseable directive, wrong mode,
+// no eligible donor, failed donor run, or an invalid rescale — are counted
+// in TransferRejected and the run proceeds cold; a directive is never
+// silently ignored and a bad donor is never silently imported.
+//
+// The "l2=<bytes>" form resolves the donor through the memo cache (the
+// sibling run at that L2 in this invocation, simulated on demand), so sweep
+// run-sets are automatically ordered donor-first. The "store" form resolves
+// against the donor set frozen at construction from the warm directory.
+func (s *Scheduler) resolveTransfer(ctx context.Context, key RunKey, st *expStats) (*core.AccelState, *transfer.Provenance) {
+	if key.Transfer == "" {
+		return nil, nil
+	}
+	reject := func() (*core.AccelState, *transfer.Provenance) {
+		s.transferRejected.Add(1)
+		return nil, nil
+	}
+	spec, err := transfer.ParseSpec(key.Transfer)
+	if err != nil || key.Mode != machine.Accelerated {
+		return reject()
+	}
+	recipCoords := transfer.FromConfig(machineConfigFor(key))
+	targetParams := accelParamsFor(key)
+
+	var (
+		donorState *core.AccelState
+		donorBench string
+		donorLearn uint64
+		donorFam   uint64
+		donorCrd   transfer.Coords
+	)
+	if spec.Store {
+		fam := transfer.FamilyHash(key.Bench, machineConfigFor(key), targetParams,
+			key.Scale, key.Faults)
+		var best *pltstore.Snapshot
+		bestDist := math.Inf(1)
+		for _, snap := range s.donors {
+			if snap.Family != fam {
+				continue
+			}
+			d := transfer.Distance(snap.Coords, recipCoords)
+			// Strict < keeps the first of equally-near donors; the frozen
+			// list is in List (path-lexicographic) order, so ties break
+			// deterministically.
+			if transfer.Eligible(d) && d < bestDist {
+				best, bestDist = snap, d
+			}
+		}
+		if best == nil {
+			return reject()
+		}
+		donorState = best.State
+		donorBench, donorLearn, donorFam, donorCrd = best.Benchmark, best.LearnHash, best.Family, best.Coords
+	} else {
+		donorKey := key.withTransfer("")
+		donorKey.L2 = spec.L2
+		if donorKey.L2 == defaultL2() {
+			donorKey.L2 = 0
+		}
+		out, err := s.get(ctx, donorKey, st)
+		if err != nil || out.acc == nil {
+			return reject()
+		}
+		donorMcfg := machineConfigFor(donorKey)
+		donorCrd = transfer.FromConfig(donorMcfg)
+		if d := transfer.Distance(donorCrd, recipCoords); !transfer.Eligible(d) {
+			return reject()
+		}
+		donorState = out.acc.Export()
+		donorBench = donorKey.Bench
+		donorLearn = warmLearnHash(donorKey)
+		donorFam = transfer.FamilyHash(donorKey.Bench, donorMcfg, accelParamsFor(donorKey),
+			donorKey.Scale, donorKey.Faults)
+	}
+
+	dist := transfer.Distance(donorCrd, recipCoords)
+	model := transfer.FitAnalytic(donorCrd, recipCoords)
+	prior, err := transfer.Rescale(donorState, model, targetParams)
+	if err != nil {
+		return reject()
+	}
+	s.transferHits.Add(1)
+	return prior, &transfer.Provenance{
+		DonorBench: donorBench,
+		DonorAddr:  pltstore.FormatHash(donorFam) + "/" + pltstore.FormatHash(donorLearn),
+		Distance:   dist,
+		Scale:      model.L2M,
+		Hash:       transfer.TransferHash(donorLearn, model),
+	}
+}
+
+// TransferRecord pairs a completed run with its transfer provenance, for the
+// CLIs' summary lines.
+type TransferRecord struct {
+	Key  RunKey
+	Prov transfer.Provenance
+}
+
+// Transfers lists the completed runs that imported donor priors, sorted by
+// key for deterministic output.
+func (s *Scheduler) Transfers() []TransferRecord {
+	s.mu.Lock()
+	entries := make(map[RunKey]*runEntry, len(s.runs))
+	for k, e := range s.runs {
+		entries[k] = e
+	}
+	s.mu.Unlock()
+	var out []TransferRecord
+	for k, e := range entries {
+		select {
+		case <-e.done:
+		default:
+			continue
+		}
+		if e.err == nil && e.out.transfer != nil {
+			out = append(out, TransferRecord{Key: k, Prov: *e.out.transfer})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
 // --- warm-start store -------------------------------------------------------
 
 // warmEligible: only Accelerated runs carry learned state worth persisting.
@@ -689,10 +896,25 @@ func (s *Scheduler) warmEligible(key RunKey) bool {
 	return s.warm != nil && key.Mode == machine.Accelerated && key.Sample == ""
 }
 
-// warmLearnHash is the snapshot address of key's configuration.
+// warmLearnHash is the snapshot address of key's configuration. The transfer
+// directive is part of the address: a transferred run's learned table is
+// shaped by the imported priors and must never be mistaken for (or overwrite)
+// the cold-learned table of the identical configuration.
 func warmLearnHash(key RunKey) uint64 {
-	return pltstore.LearnHash(key.Bench, machineConfigFor(key), accelParamsFor(key),
-		key.Scale, key.Faults)
+	return pltstore.LearnHashWith(key.Bench, machineConfigFor(key), accelParamsFor(key),
+		key.Scale, key.Faults, key.Transfer)
+}
+
+// warmReplayHash is the exact-replay address of key: transferred runs
+// additionally bind the provenance hash (exact donor + model), so a snapshot
+// recorded under one donor never replays for an invocation that resolved a
+// different one.
+func warmReplayHash(key RunKey, prov *transfer.Provenance) uint64 {
+	learn := warmLearnHash(key)
+	if prov != nil {
+		return pltstore.TransferReplayHash(learn, key.String(), key.DeriveSeed(), prov.Hash)
+	}
+	return pltstore.ReplayHash(learn, key.String(), key.DeriveSeed())
 }
 
 // warmReplay consults the warm store for an exact-identity snapshot of key.
@@ -702,7 +924,7 @@ func warmLearnHash(key RunKey) uint64 {
 // ok=false: a stale or corrupt snapshot degrades to a cold start, never to a
 // wrong result. Replayed runs carry no trace recorder (nothing executed to
 // trace).
-func (s *Scheduler) warmReplay(key RunKey) (runOutput, bool) {
+func (s *Scheduler) warmReplay(key RunKey, prov *transfer.Provenance) (runOutput, bool) {
 	if !s.warmEligible(key) {
 		return runOutput{}, false
 	}
@@ -716,9 +938,11 @@ func (s *Scheduler) warmReplay(key RunKey) (runOutput, bool) {
 		}
 		return runOutput{}, false
 	}
-	if snap.ReplayHash != pltstore.ReplayHash(learn, key.String(), key.DeriveSeed()) {
+	if snap.ReplayHash != warmReplayHash(key, prov) {
 		// Compatible learned state, but not this exact run (different base
-		// seed, for example): exact replay would be wrong, so simulate cold.
+		// seed, or a transferred snapshot recorded under a different donor
+		// than this invocation resolved): exact replay would be wrong, so
+		// simulate cold.
 		s.warmInvalid.Add(1)
 		return runOutput{}, false
 	}
@@ -728,7 +952,7 @@ func (s *Scheduler) warmReplay(key RunKey) (runOutput, bool) {
 		return runOutput{}, false
 	}
 	s.warmHits.Add(1)
-	return runOutput{res: workload.Result{Stats: snap.Stats}, acc: acc}, true
+	return runOutput{res: workload.Result{Stats: snap.Stats}, acc: acc, transfer: prov}, true
 }
 
 // warmSave persists one successful run's snapshot, best-effort: a failed
@@ -737,18 +961,34 @@ func (s *Scheduler) warmSave(key RunKey, out runOutput) {
 	if !s.warmEligible(key) || out.acc == nil {
 		return
 	}
-	learn := warmLearnHash(key)
-	snap := &pltstore.Snapshot{
-		LearnHash:  learn,
-		ReplayHash: pltstore.ReplayHash(learn, key.String(), key.DeriveSeed()),
-		Benchmark:  key.Bench,
-		Key:        key.String(),
-		Stats:      out.res.Stats,
-		State:      out.acc.Export(),
-	}
-	if s.warm.Save(snap) == nil {
+	if s.warm.Save(warmSnapshot(key, out)) == nil {
 		s.warmSaves.Add(1)
 	}
+}
+
+// warmSnapshot builds the (format v2) snapshot one successful run persists:
+// alongside the learned state it records the sweep-family address and swept
+// coordinates that make the snapshot discoverable as a transfer donor, and —
+// for runs that imported priors — the TransferHash provenance trailer that
+// both marks the table as transferred (ineligible to donate further) and
+// binds its replay address to the exact donor and model imported.
+func warmSnapshot(key RunKey, out runOutput) *pltstore.Snapshot {
+	mcfg := machineConfigFor(key)
+	snap := &pltstore.Snapshot{
+		LearnHash:  warmLearnHash(key),
+		ReplayHash: warmReplayHash(key, out.transfer),
+		Benchmark:  key.Bench,
+		Key:        key.String(),
+		Family: transfer.FamilyHash(key.Bench, mcfg, accelParamsFor(key),
+			key.Scale, key.Faults),
+		Coords: transfer.FromConfig(mcfg),
+		Stats:  out.res.Stats,
+		State:  out.acc.Export(),
+	}
+	if out.transfer != nil {
+		snap.TransferHash = out.transfer.Hash
+	}
+	return snap
 }
 
 // FlushWarm sweeps every completed successful accelerated run into the warm
@@ -782,16 +1022,7 @@ func (s *Scheduler) FlushWarmCtx(ctx context.Context) (int, error) {
 		if e.err != nil || e.out.acc == nil {
 			return
 		}
-		learn := warmLearnHash(key)
-		snap := &pltstore.Snapshot{
-			LearnHash:  learn,
-			ReplayHash: pltstore.ReplayHash(learn, key.String(), key.DeriveSeed()),
-			Benchmark:  key.Bench,
-			Key:        key.String(),
-			Stats:      e.out.res.Stats,
-			State:      e.out.acc.Export(),
-		}
-		if err := s.warm.Save(snap); err != nil {
+		if err := s.warm.Save(warmSnapshot(key, e.out)); err != nil {
 			errs = append(errs, err)
 			return
 		}
@@ -852,14 +1083,18 @@ func (s *Scheduler) WarmSnapshotPath(bench string) (string, bool) {
 		return "", false
 	}
 	// List sorts by name; pick the newest by modification time so the most
-	// recently refreshed configuration wins when several coexist.
+	// recently refreshed configuration wins when several coexist. Equal
+	// timestamps (same-second saves on coarse filesystems) break to the
+	// lexicographically smallest path, so the choice is deterministic rather
+	// than an artifact of directory iteration order.
 	best, bestAt := "", time.Time{}
 	for _, p := range paths {
 		fi, err := os.Stat(p)
 		if err != nil {
 			continue
 		}
-		if best == "" || fi.ModTime().After(bestAt) {
+		if best == "" || fi.ModTime().After(bestAt) ||
+			(fi.ModTime().Equal(bestAt) && p < best) {
 			best, bestAt = p, fi.ModTime()
 		}
 	}
@@ -903,6 +1138,11 @@ type RunSpec struct {
 	// canonicalize via sample.Canonical before building the spec so that
 	// every spelling of one policy shares a cache entry.
 	Sample string
+	// Transfer is the canonical transfer directive ("" = cold start); only
+	// meaningful for Accelerated runs — the server's request validation
+	// rejects it elsewhere, and the scheduler counts any directive on a
+	// non-accelerated key as a rejection.
+	Transfer string
 	// Strategy selects the re-learning policy for Accelerated runs.
 	Strategy core.Strategy
 	// Watchdog arms the divergence watchdog on Accelerated runs, so the
@@ -922,7 +1162,8 @@ func (sp RunSpec) Key() RunKey {
 		sp.Seed = 1
 	}
 	k := RunKey{Bench: sp.Bench, Mode: sp.Mode, L2: sp.L2,
-		Scale: sp.Scale, Seed: sp.Seed, Faults: sp.Faults, Sample: sp.Sample}
+		Scale: sp.Scale, Seed: sp.Seed, Faults: sp.Faults, Sample: sp.Sample,
+		Transfer: sp.Transfer}
 	if sp.Mode == machine.Accelerated {
 		k.OptsHash = uint64(sp.Strategy) + 1
 		if sp.Watchdog {
@@ -947,6 +1188,12 @@ func (c Config) benchKey(name string, mode machine.SimMode, l2 int) RunKey {
 func (c Config) accelKey(name string, strat core.Strategy, l2 int) RunKey {
 	k := c.benchKey(name, machine.Accelerated, l2)
 	k.OptsHash = uint64(strat) + 1
+	// A -transfer invocation warm-starts every accelerated run from the
+	// nearest store donor; rejections (no eligible donor) are counted and
+	// fall back to cold, so the flag is safe on an empty store.
+	if c.Transfer {
+		k.Transfer = "store"
+	}
 	return k
 }
 

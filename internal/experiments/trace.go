@@ -190,8 +190,10 @@ func (s *Scheduler) WriteHarnessMetrics(w io.Writer) error {
 	_, err = fmt.Fprintf(w,
 		"plt.warm_hits %d\nplt.warm_misses %d\nplt.warm_invalid %d\n"+
 			"plt.warm_saves %d\nplt.learned %d\n"+
-			"plt.recovered.orphans %d\nplt.recovered.quarantined %d\n",
+			"plt.recovered.orphans %d\nplt.recovered.quarantined %d\n"+
+			"transfer.hits %d\ntransfer.rejected %d\n",
 		st.WarmHits, st.WarmMisses, st.WarmInvalid, st.WarmSaves, st.PLTLearned,
-		st.WarmRecoveredOrphans, st.WarmRecoveredQuarantined)
+		st.WarmRecoveredOrphans, st.WarmRecoveredQuarantined,
+		st.TransferHits, st.TransferRejected)
 	return err
 }

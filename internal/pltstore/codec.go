@@ -11,16 +11,20 @@ import (
 	"fssim/internal/isa"
 	"fssim/internal/machine"
 	"fssim/internal/stats"
+	"fssim/internal/transfer"
 )
 
-// The snapshot wire format, version 1. Everything is little-endian.
+// The snapshot wire format, version 2. Everything is little-endian.
 //
 //	magic     8 bytes  "FSSIMPLT"
 //	version   u32
 //	learnHash u64
 //	replayHash u64
+//	family    u64      (sweep-family address; v2)
+//	transferHash u64   (provenance trailer, 0 = cold-learned; v2)
 //	benchmark string   (uvarint length, then bytes; canonical varints only)
 //	key       string
+//	coords    12 uvarints (swept machine coordinates, transfer.Coords; v2)
 //	stats     machine.Stats, field by field (u64s; Prediction and the three
 //	          cache snapshots inline)
 //	state     core.AccelState: Params field by field (i64 / f64-bits / bool),
@@ -71,8 +75,11 @@ func Encode(s *Snapshot) []byte {
 	e.u32(FormatVersion)
 	e.u64(s.LearnHash)
 	e.u64(s.ReplayHash)
+	e.u64(s.Family)
+	e.u64(s.TransferHash)
 	e.str(s.Benchmark)
 	e.str(s.Key)
+	e.coords(&s.Coords)
 	e.stats(&s.Stats)
 	e.state(s.State)
 	h := fnv.New64a()
@@ -107,8 +114,11 @@ func Decode(data []byte) (*Snapshot, error) {
 	s := &Snapshot{}
 	s.LearnHash = d.u64("learn hash")
 	s.ReplayHash = d.u64("replay hash")
+	s.Family = d.u64("family hash")
+	s.TransferHash = d.u64("transfer hash")
 	s.Benchmark = d.str("benchmark")
 	s.Key = d.str("key")
+	d.coords(&s.Coords)
 	d.stats(&s.Stats)
 	s.State = d.state()
 	if d.err == nil && d.off != len(d.data) {
@@ -143,6 +153,22 @@ func (e *encoder) boolean(v bool) {
 func (e *encoder) str(s string) {
 	e.uvarint(uint64(len(s)))
 	e.raw([]byte(s))
+}
+
+// coordFields lists the swept machine coordinates in wire order.
+func coordFields(c *transfer.Coords) [12]*int {
+	return [12]*int{
+		&c.L1ISize, &c.L1IAssoc, &c.L1DSize, &c.L1DAssoc,
+		&c.L2Size, &c.L2Assoc,
+		&c.FetchWidth, &c.IssueWidth, &c.RetireWidth, &c.ROBSize,
+		&c.MemLatency, &c.BusOccupancy,
+	}
+}
+
+func (e *encoder) coords(c *transfer.Coords) {
+	for _, f := range coordFields(c) {
+		e.uvarint(uint64(*f))
+	}
 }
 
 func (e *encoder) cacheStats(c *cache.Stats) {
@@ -388,6 +414,21 @@ func (d *decoder) str(what string) string {
 		return ""
 	}
 	return string(b)
+}
+
+func (d *decoder) coords(c *transfer.Coords) {
+	for _, f := range coordFields(c) {
+		off := d.off
+		v := d.uvarint("coords")
+		if d.err != nil {
+			return
+		}
+		if v > math.MaxInt32 {
+			d.fail(off, fmt.Sprintf("sweep coordinate %d out of range", v))
+			return
+		}
+		*f = int(v)
+	}
 }
 
 func (d *decoder) cacheStats(c *cache.Stats, what string) {

@@ -39,7 +39,12 @@ var ErrOversize = errors.New("pltstore: snapshot exceeds size cap")
 type IndexEntry struct {
 	Benchmark string `json:"benchmark"`
 	LearnHash string `json:"learn_hash"`
-	Size      int64  `json:"size"`
+	// Family is the sweep-family address (%016x), so a peer scanning the
+	// index can spot transfer-eligible snapshots without fetching them.
+	// Advisory like the rest of the entry: transfer eligibility is
+	// re-verified against the fetched snapshot's own header.
+	Family string `json:"family,omitempty"`
+	Size   int64  `json:"size"`
 }
 
 // Addr renders the entry's store address compactly for logs and quarantine
@@ -203,6 +208,7 @@ func (s *Store) Index() ([]IndexEntry, error) {
 		out = append(out, IndexEntry{
 			Benchmark: snap.Benchmark,
 			LearnHash: FormatHash(snap.LearnHash),
+			Family:    FormatHash(snap.Family),
 			Size:      int64(len(data)),
 		})
 	}
@@ -248,6 +254,7 @@ func (s *Store) PutVerified(bench string, learnHash uint64, data []byte) (*Snaps
 	s.updateIndex(IndexEntry{
 		Benchmark: bench,
 		LearnHash: FormatHash(learnHash),
+		Family:    FormatHash(snap.Family),
 		Size:      int64(len(data)),
 	})
 	return snap, nil

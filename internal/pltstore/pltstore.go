@@ -50,12 +50,14 @@ import (
 	"fssim/internal/core"
 	"fssim/internal/durable"
 	"fssim/internal/machine"
+	"fssim/internal/transfer"
 )
 
 // FormatVersion is the snapshot format generation. It participates in
 // LearnHash, so a format change invalidates every existing snapshot rather
-// than misreading it.
-const FormatVersion = 1
+// than misreading it. Version 2 added the transfer family/provenance trailer
+// (Family, TransferHash, Coords) for cross-config warm starts.
+const FormatVersion = 2
 
 // ErrNotFound reports that no snapshot exists for the requested
 // (benchmark, learn-hash) address.
@@ -72,10 +74,23 @@ var ErrMismatch = errors.New("pltstore: snapshot does not match requested config
 type Snapshot struct {
 	LearnHash  uint64
 	ReplayHash uint64
-	Benchmark  string
-	Key        string // the producing RunKey, for diagnostics
-	Stats      machine.Stats
-	State      *core.AccelState
+
+	// Family and Coords support cross-config transfer (internal/transfer):
+	// Family addresses the sweep family (LearnHash minus the swept machine
+	// parameters) and Coords are the swept coordinates themselves, so a
+	// recipient config can find and rank eligible donors without decoding
+	// machine configs. TransferHash is the provenance trailer: 0 for a
+	// cold-learned snapshot, otherwise the hash of the donor and scaling
+	// model this snapshot's run imported — transferred snapshots are never
+	// donors themselves (no transfer chains).
+	Family       uint64
+	TransferHash uint64
+	Coords       transfer.Coords
+
+	Benchmark string
+	Key       string // the producing RunKey, for diagnostics
+	Stats     machine.Stats
+	State     *core.AccelState
 }
 
 // Validate checks the snapshot beyond codec well-formedness: a benchmark
@@ -96,6 +111,16 @@ func (s *Snapshot) Validate() error {
 	if s.Stats.Insts == 0 || s.Stats.Cycles == 0 {
 		return fmt.Errorf("%w: degenerate run statistics", core.ErrBadState)
 	}
+	c := s.Coords
+	for _, v := range []int{
+		c.L1ISize, c.L1IAssoc, c.L1DSize, c.L1DAssoc, c.L2Size, c.L2Assoc,
+		c.FetchWidth, c.IssueWidth, c.RetireWidth, c.ROBSize,
+		c.MemLatency, c.BusOccupancy,
+	} {
+		if v < 0 {
+			return fmt.Errorf("%w: negative sweep coordinate %d", core.ErrBadState, v)
+		}
+	}
 	return nil
 }
 
@@ -112,6 +137,22 @@ func LearnHash(bench string, mcfg machine.Config, p core.Params, scale float64, 
 	return h.Sum64()
 }
 
+// LearnHashWith is LearnHash extended with the run's transfer directive. A
+// run without a directive keeps its plain LearnHash address; a transferred
+// run gets a distinct address, so a transferred table can never be mistaken
+// for (or overwrite) the cold-learned table of the identical configuration —
+// the donor's priors shape what is learned, and the two must not share an
+// address.
+func LearnHashWith(bench string, mcfg machine.Config, p core.Params, scale float64, faultPlan, transferSpec string) uint64 {
+	base := LearnHash(bench, mcfg, p, scale, faultPlan)
+	if transferSpec == "" {
+		return base
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "fssim-plt-transfer|%016x|%s", base, transferSpec)
+	return h.Sum64()
+}
+
 // ReplayHash binds a snapshot to one exact run: the learn-compatibility
 // hash, the full run-key string, and the derived machine seed. Two runs with
 // equal ReplayHash are the same deterministic simulation, so the stored
@@ -119,6 +160,19 @@ func LearnHash(bench string, mcfg machine.Config, p core.Params, scale float64, 
 func ReplayHash(learnHash uint64, key string, seed int64) uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "fssim-replay|%016x|%s|seed=%d", learnHash, key, seed)
+	return h.Sum64()
+}
+
+// TransferReplayHash is ReplayHash for a transferred run: it additionally
+// binds the TransferHash — the exact donor and scaling model imported. The
+// "store" directive resolves to whatever donor the warm directory holds at
+// run time, so the directive alone does not pin the run's inputs; binding
+// the provenance hash means a snapshot recorded under one donor can never
+// replay for an invocation that would have resolved a different one — that
+// mismatch is a counted invalidation and a fresh simulation.
+func TransferReplayHash(learnHash uint64, key string, seed int64, transferHash uint64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "fssim-replay|%016x|%s|seed=%d|transfer=%016x", learnHash, key, seed, transferHash)
 	return h.Sum64()
 }
 
@@ -273,6 +327,7 @@ func (s *Store) Save(snap *Snapshot) error {
 	s.updateIndex(IndexEntry{
 		Benchmark: snap.Benchmark,
 		LearnHash: FormatHash(snap.LearnHash),
+		Family:    FormatHash(snap.Family),
 		Size:      int64(len(data)),
 	})
 	return nil
@@ -297,6 +352,76 @@ func (s *Store) Load(bench string, learnHash uint64) (*Snapshot, error) {
 		return nil, err
 	}
 	if snap.Benchmark != bench || snap.LearnHash != learnHash {
+		return nil, fmt.Errorf("%w: file %s describes %s/%016x",
+			ErrMismatch, filepath.Base(path), snap.Benchmark, snap.LearnHash)
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Nearest returns the closest transfer-eligible donor snapshot in the given
+// sweep family: among fully validated snapshots whose Family matches, whose
+// provenance is cold-learned (TransferHash 0 — transferred tables never
+// donate, so priors cannot chain and compound model error), and whose
+// coordinate distance to recip is within transfer.MaxDistance, it picks the
+// minimum-distance one. Ties are broken by snapshot path (List order is
+// lexicographic), so the choice is deterministic whatever order the files
+// were written in. Returns ErrNotFound when no eligible donor exists —
+// callers count that as a rejected/unavailable transfer and start cold.
+func (s *Store) Nearest(family uint64, recip transfer.Coords) (*Snapshot, float64, error) {
+	paths, err := s.List("")
+	if err != nil {
+		return nil, 0, err
+	}
+	var (
+		best     *Snapshot
+		bestDist float64
+	)
+	for _, p := range paths {
+		snap, err := s.LoadPath(p)
+		if err != nil {
+			continue
+		}
+		if snap.Family != family || snap.TransferHash != 0 {
+			continue
+		}
+		d := transfer.Distance(snap.Coords, recip)
+		if !transfer.Eligible(d) {
+			continue
+		}
+		if best == nil || d < bestDist {
+			best, bestDist = snap, d
+		}
+	}
+	if best == nil {
+		return nil, 0, ErrNotFound
+	}
+	return best, bestDist, nil
+}
+
+// LoadPath reads and fully validates the snapshot at an explicit store path
+// (as returned by List), with the same guarantees as Load: size cap,
+// checksum-first structural decode, semantic validation, and the transplant
+// check that the filename agrees with the self-described identity. Only a
+// nil error means the snapshot is safe to import.
+func (s *Store) LoadPath(path string) (*Snapshot, error) {
+	data, err := s.fsys.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("pltstore: %w", err)
+	}
+	if int64(len(data)) > MaxSnapshotBytes {
+		return nil, fmt.Errorf("%w: %d bytes > %d", ErrOversize, len(data), MaxSnapshotBytes)
+	}
+	snap, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if s.Path(snap.Benchmark, snap.LearnHash) != path {
 		return nil, fmt.Errorf("%w: file %s describes %s/%016x",
 			ErrMismatch, filepath.Base(path), snap.Benchmark, snap.LearnHash)
 	}

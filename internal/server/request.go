@@ -13,6 +13,7 @@ import (
 	"fssim/internal/faults"
 	"fssim/internal/machine"
 	"fssim/internal/sample"
+	"fssim/internal/transfer"
 	"fssim/internal/workload"
 )
 
@@ -49,6 +50,12 @@ type RunRequest struct {
 	// The spec is canonicalized before keying, so any spelling of one policy
 	// shares one simulation and one byte-identical response.
 	Sample string `json:"sample,omitempty"`
+	// Transfer warm-starts the run's PLT from a neighbor configuration:
+	// "store" (nearest eligible donor in the server's warm store) or
+	// "l2=<bytes>" (the sibling run at that L2 capacity). Accel mode only;
+	// "" = cold start. An ineligible or missing donor is rejected and the run
+	// proceeds cold — the response's transfer field reports what happened.
+	Transfer string `json:"transfer,omitempty"`
 	// DeadlineMS caps how long this request waits for its result, in
 	// milliseconds (0 = server default; capped at the server default).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
@@ -132,6 +139,14 @@ func (q RunRequest) Validate() error {
 			return err
 		}
 	}
+	if q.Transfer != "" {
+		if _, err := transfer.ParseSpec(q.Transfer); err != nil {
+			return err
+		}
+		if mode, err := q.mode(); err == nil && mode != machine.Accelerated {
+			return fmt.Errorf("transfer requires accel mode, got %q", q.Mode)
+		}
+	}
 	if q.DeadlineMS < 0 {
 		return fmt.Errorf("deadline_ms must be non-negative, got %d", q.DeadlineMS)
 	}
@@ -157,6 +172,16 @@ func (q RunRequest) spec(defaultScale float64, defaultSeed int64) (experiments.R
 			return experiments.RunSpec{}, err
 		}
 	}
+	xfer := ""
+	if q.Transfer != "" {
+		// Canonicalize through the parsed form so every spelling of one
+		// directive shares a cache key.
+		ts, err := transfer.ParseSpec(q.Transfer)
+		if err != nil {
+			return experiments.RunSpec{}, err
+		}
+		xfer = ts.String()
+	}
 	sp := experiments.RunSpec{
 		Bench:    q.Benchmark,
 		Mode:     mode,
@@ -165,6 +190,7 @@ func (q RunRequest) spec(defaultScale float64, defaultSeed int64) (experiments.R
 		Seed:     q.Seed,
 		Faults:   q.Faults,
 		Sample:   smp,
+		Transfer: xfer,
 		Strategy: strat,
 		Watchdog: mode == machine.Accelerated,
 	}
@@ -211,6 +237,20 @@ type RunResponse struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Sample summarizes the stratified-sampling estimator (sampled runs only).
 	Sample *SampleInfo `json:"sample,omitempty"`
+	// Transfer reports the provenance of imported PLT priors (present only
+	// when the run's transfer directive resolved and imported a donor; a
+	// rejected directive leaves it absent — the run was cold).
+	Transfer *TransferInfo `json:"transfer,omitempty"`
+}
+
+// TransferInfo is the response view of an applied cross-config transfer: the
+// donor the priors came from, its parameter distance, and the headline L2
+// miss-scale factor applied during the import.
+type TransferInfo struct {
+	DonorBenchmark string  `json:"donor_benchmark"`
+	DonorAddr      string  `json:"donor_addr"` // "familyhash/learnhash" hex
+	Distance       float64 `json:"distance"`
+	Scale          float64 `json:"scale"`
 }
 
 // SampleInfo is the response view of a sampled run's estimator report: the

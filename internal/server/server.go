@@ -90,6 +90,11 @@ type Config struct {
 	// serves the newest snapshot. Stale or corrupt snapshots degrade to cold
 	// simulation. Empty disables persistence.
 	WarmDir string
+	// Transfer enables cross-config PLT transfer for accelerated requests
+	// carrying a "store" directive: the warm store's nearest eligible donor
+	// snapshot is rescaled and imported as priors. Requires WarmDir; an
+	// ineligible donor is rejected (counted) and the run proceeds cold.
+	Transfer bool
 	// Breaker tunes the per-(benchmark, mode) circuit breakers.
 	Breaker BreakerConfig
 
@@ -212,6 +217,7 @@ func New(cfg Config) *Server {
 		Retries:     cfg.Retries,
 		Trace:       cfg.Trace,
 		WarmDir:     cfg.WarmDir,
+		Transfer:    cfg.Transfer,
 	}.WithContext(baseCtx))
 	reg := trace.NewRegistry()
 	s := &Server{
@@ -527,6 +533,14 @@ func (s *Server) responseBody(id string, key experiments.RunKey, out experiments
 			Extrapolated: rep.Extrapolated,
 			Reduction:    rep.Reduction(),
 			CIRel:        rep.RelCI(out.Result.Stats.Cycles),
+		}
+	}
+	if p := out.Transfer; p != nil {
+		resp.Transfer = &TransferInfo{
+			DonorBenchmark: p.DonorBench,
+			DonorAddr:      p.DonorAddr,
+			Distance:       p.Distance,
+			Scale:          p.Scale,
 		}
 	}
 	body, err = json.Marshal(resp)

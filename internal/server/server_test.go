@@ -640,6 +640,8 @@ func TestBadRequests(t *testing.T) {
 		"unknown strategy": `{"benchmark":"srv-ok","mode":"accel","strategy":"vibes"}`,
 		"unknown faults":   `{"benchmark":"srv-ok","faults":"apocalypse"}`,
 		"bad sample spec":  `{"benchmark":"srv-ok","sample":"budget=0"}`,
+		"bad transfer":     `{"benchmark":"srv-ok","mode":"accel","transfer":"l2=nope"}`,
+		"transfer nonacc":  `{"benchmark":"srv-ok","mode":"full","transfer":"store"}`,
 		"huge scale":       `{"benchmark":"srv-ok","scale":1000}`,
 		"negative seed":    `{"benchmark":"srv-ok","seed":-1}`,
 		"trailing":         `{"benchmark":"srv-ok"} garbage`,
@@ -764,6 +766,57 @@ func TestSampledRun(t *testing.T) {
 	}
 	if spelled.Response.ID != sampled.Response.ID {
 		t.Error("spellings of one sampling policy produced distinct run ids")
+	}
+}
+
+// TestTransferRun: an accel request with a "l2=" transfer directive imports
+// the sibling donor and reports provenance; a "store" directive on a server
+// with no warm store is rejected — counted, cold, and provenance-free.
+func TestTransferRun(t *testing.T) {
+	s, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	base := RunRequest{Benchmark: "ab-rand", Mode: "accel", Scale: 0.25, Seed: 1}
+	cold, err := c.Run(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Response.Transfer != nil {
+		t.Error("cold response carries transfer info")
+	}
+
+	req := base
+	req.Transfer = "l2=524288"
+	xfer, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xfer.Response.ID == cold.Response.ID {
+		t.Error("transferred and cold runs share an id")
+	}
+	ti := xfer.Response.Transfer
+	if ti == nil {
+		t.Fatal("transferred response missing transfer info")
+	}
+	if ti.DonorBenchmark != "ab-rand" || ti.Distance != 1.0 {
+		t.Errorf("provenance %+v, want the ab-rand sibling at distance 1.0", ti)
+	}
+	if ti.Scale <= 0 || ti.DonorAddr == "" {
+		t.Errorf("degenerate provenance %+v", ti)
+	}
+
+	req.Transfer = "store"
+	rej, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej.Response.Transfer != nil {
+		t.Errorf("rejected store directive still reports transfer info %+v", rej.Response.Transfer)
+	}
+	if rej.Response.Cycles != cold.Response.Cycles {
+		t.Errorf("rejected transfer's cycles %d differ from cold %d", rej.Response.Cycles, cold.Response.Cycles)
+	}
+	if st := s.sched.Stats(); st.TransferHits != 1 || st.TransferRejected != 1 {
+		t.Errorf("transfer hits %d rejected %d, want 1 and 1", st.TransferHits, st.TransferRejected)
 	}
 }
 

@@ -35,6 +35,17 @@ func (m Moments) Merge(o Moments) Moments {
 	}
 }
 
+// Scale returns the moments of the sample with every observation multiplied
+// by s: the mean scales linearly and M2 quadratically, while N is unchanged —
+// scaling does not add or remove information. Because an affine map of the
+// underlying observations commutes with the Chan et al. union, Scale
+// distributes over Merge: a.Scale(s).Merge(b.Scale(s)) == a.Merge(b).Scale(s).
+// The cross-config transfer path relies on this to rescale a donor cluster's
+// statistics before folding in fresh observations from the recipient config.
+func (m Moments) Scale(s float64) Moments {
+	return Moments{N: m.N, Mean: s * m.Mean, M2: s * s * m.M2}
+}
+
 // Var returns the unbiased sample variance (0 with fewer than 2 observations),
 // mirroring Welford.Var.
 func (m Moments) Var() float64 {

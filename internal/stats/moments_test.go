@@ -104,3 +104,45 @@ func TestMomentsVar(t *testing.T) {
 		t.Errorf("single-sample variance %g, want 0", v)
 	}
 }
+
+// TestMomentsScaleMatchesDirectAccumulation checks Scale against the ground
+// truth: scaling the moments must equal accumulating the scaled sample.
+func TestMomentsScaleMatchesDirectAccumulation(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2.5, -6}
+	for _, s := range []float64{0.25, 1, 2, 7.5} {
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = s * x
+		}
+		got := momentsOf(xs...).Scale(s)
+		want := momentsOf(scaled...)
+		if got.N != want.N || !closeTo(got.Mean, want.Mean) || !closeTo(got.M2, want.M2) {
+			t.Errorf("scale %g: got %+v, direct accumulation %+v", s, got, want)
+		}
+	}
+}
+
+// TestMomentsScaleMergeCommute is the algebraic contract the transfer path
+// depends on: rescaling a donor's statistics and then folding in (already
+// rescaled) fresh observations must equal folding first and scaling the
+// union — scale-then-merge and merge-then-scale agree.
+func TestMomentsScaleMergeCommute(t *testing.T) {
+	a := momentsOf(3, 1, 4, 1, 5)
+	b := momentsOf(9, 2.5, -6, 5)
+	for _, s := range []float64{0.1, 0.5, 2, 13} {
+		stm := a.Scale(s).Merge(b.Scale(s))
+		mts := a.Merge(b).Scale(s)
+		if stm.N != mts.N || !closeTo(stm.Mean, mts.Mean) || !closeTo(stm.M2, mts.M2) {
+			t.Errorf("scale %g: scale-then-merge %+v != merge-then-scale %+v", s, stm, mts)
+		}
+	}
+	// Edge cases: empty and singleton sides keep the identity exactly.
+	var empty Moments
+	if got := empty.Scale(3); got != empty {
+		t.Errorf("empty.Scale = %+v, want zero", got)
+	}
+	one := momentsOf(7)
+	if got := one.Scale(2); got.N != 1 || !closeTo(got.Mean, 14) || got.M2 != 0 {
+		t.Errorf("singleton scaled to %+v, want N=1 mean=14 M2=0", got)
+	}
+}

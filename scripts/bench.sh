@@ -15,8 +15,8 @@
 #   BENCH_OUT=BENCH_dev.json scripts/bench.sh
 #
 # Gate mode reruns the key whole-system benchmarks (Fig1, the full-system,
-# accelerated and sampled end-to-end runs) and compares their memory profile
-# against the checked-in baseline (BENCH_BASELINE, default BENCH_7.json). The build
+# accelerated and sampled end-to-end runs, and the transfer sweep) and compares their memory profile
+# against the checked-in baseline (BENCH_BASELINE, default BENCH_8.json). The build
 # fails when allocs/op or bytes/op regress by more than 10% (plus a small
 # absolute slack so near-zero budgets don't flap). ns/op is reported but not
 # gated — wall-clock on shared CI runners is too noisy to block on, while
@@ -24,7 +24,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE="${BENCH_BASELINE:-BENCH_7.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_8.json}"
 BENCHTIME="${BENCHTIME:-1x}"
 
 run_suite() { # $1 = pattern, $2 = output json
@@ -55,7 +55,7 @@ END {
 }
 
 if [ "${1:-}" = "-gate" ]; then
-    GATE_PATTERN='^(BenchmarkFig1|BenchmarkFullSystemSimulation|BenchmarkAcceleratedSimulation|BenchmarkSampledVsFullRun)$'
+    GATE_PATTERN='^(BenchmarkFig1|BenchmarkFullSystemSimulation|BenchmarkAcceleratedSimulation|BenchmarkSampledVsFullRun|BenchmarkTransferVsColdSweep)$'
     [ -f "$BASELINE" ] || { echo "bench.sh: baseline $BASELINE missing" >&2; exit 1; }
     CUR="$(mktemp "${TMPDIR:-/tmp}/bench-gate.XXXXXX.json")"
     trap 'rm -f "$CUR"' EXIT
@@ -96,7 +96,7 @@ FNR == NR {
     }
 }
 END {
-    if (checked < 4) { printf "FAIL gate compared only %d benchmarks, want 4\n", checked; bad = 1 }
+    if (checked < 5) { printf "FAIL gate compared only %d benchmarks, want 5\n", checked; bad = 1 }
     if (bad) exit 1
     printf "gate: %d benchmarks within budget\n", checked
 }' "$BASELINE" "$CUR"
